@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures: the scaled experiment environment."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import full_requested, get_environment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def env():
+    """The experiment environment (scaled unless REPRO_FULL=1)."""
+    return get_environment(full_requested())
+
+
+@pytest.fixture(scope="session")
+def bench_iterations():
+    """Per-bench iteration budget (paper-scale only with REPRO_FULL=1)."""
+    return None if full_requested() else 25
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a result table so it survives pytest's output capture.
+
+    Writes to the real stdout (visible in ``pytest benchmarks/`` output even
+    under capture) and persists a copy under ``benchmarks/results/``.
+    """
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    sys.__stdout__.write(banner)
+    sys.__stdout__.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

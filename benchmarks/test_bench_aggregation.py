@@ -1,0 +1,34 @@
+"""Benchmark: flat-sum vs sketch-partitioned aggregation (§VI future work).
+
+Evaluates the multi-channel personalization extension exactly where the
+paper's flat sum collapses (M = 10,000 documents): more channels mean each
+diffused vector sums fewer, more-aligned documents, trading bandwidth
+(C× embeddings per node) for noise reduction.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.experiments.ablations import aggregation_comparison
+from repro.simulation.reporting import format_rows
+
+
+def test_aggregation_comparison(benchmark, env, bench_iterations):
+    rows = benchmark.pedantic(
+        lambda: aggregation_comparison(
+            n_documents=10000, iterations=bench_iterations
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "ablation_aggregation",
+        format_rows(
+            rows,
+            title="flat sum (paper) vs sketch-partitioned channels, "
+            "M=10000, alpha=0.5, uniform start nodes",
+        ),
+    )
+    by_channels = {row["channels"]: row["success rate"] for row in rows}
+    assert 1 in by_channels
+    # partitioning must not collapse the success rate; typically it improves it
+    best_multi = max(rate for c, rate in by_channels.items() if c > 1)
+    assert best_multi >= by_channels[1] - 0.05

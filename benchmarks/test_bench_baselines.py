@@ -1,0 +1,35 @@
+"""Benchmark: informed diffusion walk vs the blind baselines of §II-A.
+
+The comparison the paper motivates but does not tabulate: equal-TTL walks
+plus flooding at an equal message budget.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.experiments.ablations import baseline_comparison
+from repro.simulation.reporting import format_rows
+
+
+def test_baseline_comparison(benchmark, env, bench_iterations):
+    rows = benchmark.pedantic(
+        lambda: baseline_comparison(
+            n_documents=1000,
+            iterations=(bench_iterations or 50) * 3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "baseline_comparison",
+        format_rows(
+            rows,
+            title="diffusion walk vs blind baselines, M=1000, TTL=50, "
+            "equal message budgets",
+        ),
+    )
+    by_method = {row["method"]: row for row in rows}
+    informed = by_method["diffusion walk"]["success rate"]
+    # The headline claim: diffusion hints beat every blind method.
+    assert informed >= by_method["random walk"]["success rate"]
+    assert informed >= by_method["flooding@budget"]["success rate"]
+    # flooding honors the budget
+    assert by_method["flooding@budget"]["mean messages"] <= 50 + 1e-9

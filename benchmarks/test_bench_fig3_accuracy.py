@@ -1,0 +1,110 @@
+"""Benchmark: Fig. 3 — hit accuracy vs. query–gold distance.
+
+Regenerates the paper's four panels (M = 10, 100, 1000, 10000 documents;
+alpha in {0.1, 0.5, 0.9}; TTL 50; top-1; single walk) and prints the
+accuracy series per alpha.  Shape assertions check the qualitative claims of
+§V-C: perfect accuracy at distance 0, high accuracy within ~2 hops, decline
+beyond, and degradation as M grows.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.simulation.metrics import AccuracyGrid
+from repro.simulation.reporting import format_accuracy_grid, sparkline
+from repro.simulation.runner import run_accuracy_experiment
+from repro.simulation.scenario import AccuracyScenario
+
+PAPER_ALPHAS = (0.1, 0.5, 0.9)
+PANEL = {10: "3a", 100: "3b", 1000: "3c", 10000: "3d"}
+
+#: Qualitative series from the paper's figures (what the shape should echo):
+PAPER_NOTES = {
+    10: "accuracy ~1.0 through 2 hops, declines from 3 hops",
+    100: "accuracy ~1.0 through 2 hops, declines from 3 hops",
+    1000: "high accuracy only at 0-1 hops; heavier diffusion helps close range",
+    10000: "performance deteriorates considerably; only immediate vicinity hits",
+}
+
+_RESULTS: dict[int, AccuracyGrid] = {}
+
+
+def _run_panel(env, n_documents, iterations):
+    scenario = AccuracyScenario(
+        n_documents=n_documents,
+        alphas=PAPER_ALPHAS,
+        max_distance=8,
+        ttl=50,
+        iterations=iterations or 300,
+        seed=0,
+    )
+    return run_accuracy_experiment(env.adjacency, env.workload, scenario)
+
+
+def _report(env, n_documents, grid):
+    lines = [
+        format_accuracy_grid(
+            grid,
+            title=(
+                f"Fig. {PANEL[n_documents]}: hit accuracy vs distance, "
+                f"M = {n_documents} documents ({env.label})"
+            ),
+        )
+    ]
+    for alpha in grid.alphas:
+        lines.append(f"  a={alpha:g} |{sparkline(grid.series(alpha))}|")
+    lines.append(f"paper: {PAPER_NOTES[n_documents]}")
+    emit_report(f"fig{PANEL[n_documents]}_m{n_documents}", "\n".join(lines))
+
+
+def _mean_over(grid, distances):
+    values = [
+        grid.accuracy(alpha, d)
+        for alpha in grid.alphas
+        for d in distances
+        if grid.sample_count(alpha, d) > 0
+    ]
+    return float(np.mean(values)) if values else float("nan")
+
+
+@pytest.mark.parametrize("n_documents", [10, 100, 1000, 10000])
+def test_fig3_accuracy_panel(benchmark, env, bench_iterations, n_documents):
+    grid = benchmark.pedantic(
+        _run_panel,
+        args=(env, n_documents, bench_iterations),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS[n_documents] = grid
+    _report(env, n_documents, grid)
+
+    # Shape assertion 1: a query starting on the gold node always succeeds.
+    for alpha in grid.alphas:
+        assert grid.accuracy(alpha, 0) == 1.0
+
+    # Shape assertion 2: accuracy declines with distance (near >> far).
+    near = _mean_over(grid, (0, 1, 2))
+    far = _mean_over(grid, (5, 6, 7, 8))
+    assert near > far + 0.2, f"no distance decline at M={n_documents}"
+
+
+def test_fig3_cross_panel_degradation(benchmark, env, bench_iterations):
+    """Paper: 'accuracy sharply declines as the number of documents increases'."""
+
+    def summarize():
+        for m in (10, 10000):
+            if m not in _RESULTS:
+                _RESULTS[m] = _run_panel(env, m, bench_iterations)
+        return {
+            m: _mean_over(_RESULTS[m], (1, 2, 3, 4)) for m in (10, 10000)
+        }
+
+    means = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    emit_report(
+        "fig3_cross_panel",
+        "mean accuracy over distances 1-4:\n"
+        + "\n".join(f"  M={m:>6}: {value:.3f}" for m, value in means.items())
+        + "\npaper: accuracy at M=10 far exceeds accuracy at M=10000",
+    )
+    assert means[10] > means[10000] + 0.1

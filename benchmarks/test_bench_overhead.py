@@ -1,0 +1,44 @@
+"""Benchmark: advertisement overhead — diffusion vs index schemes (§I/§II-A).
+
+Quantifies the storage/bandwidth argument the paper makes qualitatively:
+diffusion keeps per-node state at one embedding per neighbor, while
+document-oriented k-hop indexes and full replication grow with the
+neighborhood/network document count.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.simulation.overhead import overhead_comparison
+from repro.simulation.reporting import format_rows
+
+
+def test_overhead_comparison(benchmark, env):
+    rows = benchmark.pedantic(
+        lambda: overhead_comparison(
+            env.adjacency,
+            dim=env.model.dim,
+            documents_per_node=2.5,  # ~M=10000 over the paper's 4,039 nodes
+            alpha=0.5,
+            radii=(1, 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "overhead_comparison",
+        format_rows(
+            rows,
+            title=(
+                f"advertisement overhead on the {env.n_nodes}-node graph, "
+                f"{env.model.dim}-d embeddings, 2.5 docs/node, 40-byte doc ids"
+            ),
+        ),
+    )
+    by_scheme = {row["scheme"]: row for row in rows}
+    # replication stores the global index; diffusion state is constant-size
+    assert (
+        by_scheme["full replication"]["storage/node (KiB)"]
+        > by_scheme["diffusion (estimate)"]["storage/node (KiB)"] / 10
+    )
+    assert by_scheme["2-hop index"]["storage/node (KiB)"] > by_scheme["1-hop index"][
+        "storage/node (KiB)"
+    ]

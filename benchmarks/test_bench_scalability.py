@@ -1,0 +1,86 @@
+"""Benchmark: scalability of the warm-up and query phases with network size.
+
+Not a paper artifact, but the operational question a deployer asks: how do
+diffusion cost and per-query walk cost grow with the overlay size?
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.core.engine import WalkConfig, run_query
+from repro.core.forwarding import PrecomputedScorePolicy
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.graphs.social import FacebookLikeConfig, facebook_like_graph
+from repro.gsp.filters import PersonalizedPageRank
+from repro.gsp.normalization import transition_matrix
+from repro.simulation.reporting import format_rows
+
+SIZES = (500, 1000, 2000)
+DIM = 64
+
+_ROWS = []
+
+
+def _build(n):
+    graph = facebook_like_graph(
+        FacebookLikeConfig(
+            n_nodes=n, target_edges=int(21.8 * n), n_egos=10
+        ),
+        seed=n,
+    )
+    adjacency = CompressedAdjacency.from_networkx(graph)
+    operator = transition_matrix(adjacency, "column")
+    rng = np.random.default_rng(n)
+    personalization = rng.standard_normal((n, DIM))
+    return adjacency, operator, personalization
+
+
+@pytest.mark.parametrize("n_nodes", SIZES)
+def test_diffusion_scaling(benchmark, n_nodes):
+    adjacency, operator, personalization = _build(n_nodes)
+    ppr = PersonalizedPageRank(0.5, tol=1e-8)
+    outcome = benchmark(lambda: ppr.apply_detailed(operator, personalization))
+    _ROWS.append(
+        {
+            "phase": "diffusion",
+            "nodes": n_nodes,
+            "edges": adjacency.n_edges,
+            "sweeps": outcome.iterations,
+        }
+    )
+    assert outcome.converged
+
+
+@pytest.mark.parametrize("n_nodes", SIZES)
+def test_walk_scaling(benchmark, n_nodes):
+    adjacency, operator, personalization = _build(n_nodes)
+    rng = np.random.default_rng(1)
+    scores = PersonalizedPageRank(0.5, tol=1e-8).apply(
+        operator, personalization @ rng.standard_normal(DIM)
+    )
+    policy = PrecomputedScorePolicy(scores)
+    query = rng.standard_normal(DIM)
+    config = WalkConfig(ttl=50)
+    starts = rng.integers(0, n_nodes, size=20)
+
+    def run():
+        return [
+            run_query(adjacency, {}, policy, query, int(s), config) for s in starts
+        ]
+
+    results = benchmark(run)
+    _ROWS.append(
+        {
+            "phase": "20 walks (TTL 50)",
+            "nodes": n_nodes,
+            "edges": adjacency.n_edges,
+            "sweeps": "-",
+        }
+    )
+    if n_nodes == SIZES[-1]:
+        emit_report(
+            "scalability",
+            format_rows(_ROWS, title="warm-up and query cost vs overlay size"),
+        )
+    assert all(len(r.visits) <= 50 for r in results)

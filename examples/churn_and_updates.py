@@ -1,0 +1,99 @@
+"""Churn: nodes join, leave, and update their collections mid-diffusion.
+
+The paper's diffusion is asynchronous precisely so the network can keep
+converging while peers come and go ("when new nodes enter the network or
+update their document collections" — §IV).  This example runs the real
+event-driven protocol and shows:
+
+1. the push-based diffusion quiescing on the initial network,
+2. a node updating its document collection — the change re-diffuses,
+3. a new node joining with fresh documents,
+4. a node leaving — its neighbors re-converge without it,
+5. that after every disturbance the estimates still match the closed-form
+   PPR diffusion of the *current* topology.
+
+Run: ``python examples/churn_and_updates.py``
+"""
+
+import numpy as np
+
+from repro import CompressedAdjacency, PersonalizedPageRank
+from repro.embeddings import SyntheticCorpusConfig, synthetic_word_embeddings
+from repro.graphs import connected_watts_strogatz
+from repro.gsp import transition_matrix
+from repro.runtime import AsyncPPRDiffusion
+
+SEED = 11
+ALPHA = 0.4
+
+
+def reference_embeddings(diffusion: AsyncPPRDiffusion) -> np.ndarray:
+    """Closed-form PPR diffusion of the network's *current* state."""
+    adjacency = diffusion.network.to_adjacency()
+    node_ids = sorted(diffusion.network.actors)
+    personalization = np.vstack(
+        [diffusion.node(i).personalization for i in node_ids]
+    )
+    operator = transition_matrix(adjacency, "column")
+    return PersonalizedPageRank(ALPHA, tol=1e-12, method="solve").apply(
+        operator, personalization
+    )
+
+
+def report(diffusion: AsyncPPRDiffusion, stage: str) -> None:
+    outcome = diffusion.snapshot()
+    error = float(np.max(np.abs(outcome.embeddings - reference_embeddings(diffusion))))
+    print(
+        f"{stage:<28} nodes={len(outcome.node_ids):>3}  "
+        f"messages={outcome.messages:>6}  max error vs closed form={error:.2e}"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    model = synthetic_word_embeddings(
+        SyntheticCorpusConfig(n_words=500, dim=32, n_clusters=40), seed=SEED
+    )
+
+    graph = connected_watts_strogatz(40, 6, 0.2, seed=SEED)
+    adjacency = CompressedAdjacency.from_networkx(graph)
+
+    # Each node's personalization = sum of a few random document embeddings.
+    personalization = np.vstack(
+        [
+            model.vectors_for(
+                [model.word_at(int(i)) for i in rng.integers(0, 500, size=3)]
+            ).sum(axis=0)
+            for _ in range(40)
+        ]
+    )
+
+    diffusion = AsyncPPRDiffusion(
+        adjacency, personalization, alpha=ALPHA, tol=1e-9, seed=SEED
+    )
+    diffusion.run()
+    report(diffusion, "initial convergence")
+
+    # --- a node updates its collection -------------------------------------
+    new_docs = model.vectors_for([model.word_at(i) for i in (7, 8, 9, 10)])
+    diffusion.update_personalization(5, new_docs.sum(axis=0))
+    diffusion.run()
+    report(diffusion, "after collection update")
+
+    # --- a new peer joins ----------------------------------------------------
+    joining_docs = model.vectors_for([model.word_at(i) for i in (100, 101)])
+    diffusion.join_node(40, neighbors=[3, 17, 25], personalization=joining_docs.sum(axis=0))
+    diffusion.run()
+    report(diffusion, "after node 40 joined")
+
+    # --- a peer leaves ---------------------------------------------------------
+    diffusion.leave_node(12)
+    diffusion.run()
+    report(diffusion, "after node 12 left")
+
+    print("\nthe asynchronous protocol re-converges to the closed form after")
+    print("every membership or content change — no global coordination needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has setuptools but no ``wheel`` package, so PEP 660 editable
+installs fail; ``pip install -e . --no-build-isolation`` falls back to this
+shim (all real metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

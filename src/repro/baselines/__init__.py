@@ -1,0 +1,31 @@
+"""Unstructured-search baselines (paper §II-A).
+
+Blind methods the paper positions its scheme against: TTL-bounded flooding
+(Gnutella-style), uniform random walks, parallel random walks, and the
+hub-seeking degree-biased walk.  All return the same
+:class:`repro.core.engine.SearchResult` so harnesses compare them directly.
+"""
+
+from repro.baselines.flooding import flood_query
+from repro.baselines.walks import (
+    degree_biased_walk,
+    parallel_random_walks,
+    random_walk_query,
+)
+from repro.baselines.query_routing import (
+    LearnedRoutingPolicy,
+    QueryRoutingTable,
+    learned_routing_walk,
+    train_routing_policy,
+)
+
+__all__ = [
+    "flood_query",
+    "random_walk_query",
+    "parallel_random_walks",
+    "degree_biased_walk",
+    "LearnedRoutingPolicy",
+    "QueryRoutingTable",
+    "learned_routing_walk",
+    "train_routing_policy",
+]

@@ -1,0 +1,83 @@
+"""TTL-bounded flooding: the Gnutella baseline.
+
+Flooding forwards the query to *every* neighbor within a hop budget.  It
+finds everything reachable within the radius but its message cost grows with
+the neighborhood size — the scalability failure that motivated informed
+methods (paper §II-A).  Hop semantics match the walk engine: a query with
+TTL ``t`` evaluates nodes at hops ``0 .. t−1``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.core.engine import SearchResult, WalkConfig
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.retrieval.topk import TopKTracker
+from repro.retrieval.vector_store import DocumentStore
+
+
+def flood_query(
+    adjacency: CompressedAdjacency,
+    stores: Mapping[int, DocumentStore],
+    query_embedding: np.ndarray,
+    start_node: int,
+    config: WalkConfig | None = None,
+    *,
+    query_id: Hashable = None,
+    max_messages: int | None = None,
+) -> SearchResult:
+    """Flood a query from ``start_node`` with the given TTL.
+
+    Each node forwards the query once to all neighbors except the one it
+    received it from (duplicate deliveries still cost messages, as in real
+    flooding, but are not re-processed).  ``max_messages`` optionally caps
+    the message budget — used by the equal-budget baseline comparison.
+    """
+    config = config or WalkConfig()
+    query_embedding = np.asarray(query_embedding, dtype=np.float64)
+    if not 0 <= start_node < adjacency.n_nodes:
+        raise ValueError(f"start_node {start_node} out of range")
+
+    tracker = TopKTracker(config.k)
+    result = SearchResult(
+        query_id=query_id,
+        start_node=int(start_node),
+        tracker=tracker,
+        visits=[],
+    )
+    processed: set[int] = set()
+    # queue of (node, hop, received_from)
+    queue: deque[tuple[int, int, int | None]] = deque()
+    queue.append((int(start_node), 0, None))
+    budget_exhausted = False
+
+    while queue:
+        node, hop, received_from = queue.popleft()
+        if node in processed:
+            continue  # duplicate delivery: already evaluated, drop silently
+        processed.add(node)
+        result.visits.append((hop, node))
+        store = stores.get(node)
+        if store is not None:
+            for doc_id, score in store.top_k(query_embedding, config.k):
+                tracker.offer(doc_id, score, node)
+                result.discovered_at.setdefault(doc_id, hop)
+        ttl_after = config.ttl - hop - 1
+        if ttl_after <= 0 or budget_exhausted:
+            continue
+        for neighbor in adjacency.neighbors(node):
+            neighbor = int(neighbor)
+            if neighbor == received_from:
+                continue
+            if max_messages is not None and result.messages >= max_messages:
+                budget_exhausted = True
+                break
+            result.messages += 1
+            if neighbor not in processed:
+                queue.append((neighbor, hop + 1, node))
+
+    return result

@@ -1,0 +1,87 @@
+"""Blind-walk baselines expressed through the shared walk engine."""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.core.engine import SearchResult, WalkConfig, run_query
+from repro.core.forwarding import DegreeBiasedPolicy, RandomWalkPolicy
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.retrieval.vector_store import DocumentStore
+from repro.utils.rng import RngLike
+
+
+def random_walk_query(
+    adjacency: CompressedAdjacency,
+    stores: Mapping[int, DocumentStore],
+    query_embedding: np.ndarray,
+    start_node: int,
+    config: WalkConfig | None = None,
+    *,
+    query_id: Hashable = None,
+    seed: RngLike = None,
+) -> SearchResult:
+    """A single blind random walk with the same TTL/memory semantics."""
+    config = config or WalkConfig()
+    return run_query(
+        adjacency,
+        stores,
+        RandomWalkPolicy(),
+        query_embedding,
+        start_node,
+        config,
+        query_id=query_id,
+        seed=seed,
+    )
+
+
+def parallel_random_walks(
+    adjacency: CompressedAdjacency,
+    stores: Mapping[int, DocumentStore],
+    query_embedding: np.ndarray,
+    start_node: int,
+    *,
+    n_walkers: int,
+    ttl: int = 50,
+    k: int = 1,
+    query_id: Hashable = None,
+    seed: RngLike = None,
+) -> SearchResult:
+    """k-parallel blind walks: the classic flooding/walk compromise."""
+    config = WalkConfig(ttl=ttl, fanout=n_walkers, k=k)
+    return run_query(
+        adjacency,
+        stores,
+        RandomWalkPolicy(),
+        query_embedding,
+        start_node,
+        config,
+        query_id=query_id,
+        seed=seed,
+    )
+
+
+def degree_biased_walk(
+    adjacency: CompressedAdjacency,
+    stores: Mapping[int, DocumentStore],
+    query_embedding: np.ndarray,
+    start_node: int,
+    config: WalkConfig | None = None,
+    *,
+    query_id: Hashable = None,
+    seed: RngLike = None,
+) -> SearchResult:
+    """Hub-seeking walk (Adamic et al.): forward to the highest-degree peer."""
+    config = config or WalkConfig()
+    return run_query(
+        adjacency,
+        stores,
+        DegreeBiasedPolicy(adjacency),
+        query_embedding,
+        start_node,
+        config,
+        query_id=query_id,
+        seed=seed,
+    )

@@ -1,0 +1,58 @@
+"""The paper's primary contribution: diffusion-based decentralized search.
+
+Pipeline (paper §IV): nodes summarize their local documents into
+personalization vectors (:mod:`repro.core.personalization`), diffuse them over
+the P2P graph with a PPR graph filter (:mod:`repro.core.diffusion`), and use
+the diffused neighbor embeddings to forward queries as biased random walks
+(:mod:`repro.core.forwarding`, :mod:`repro.core.engine`).
+
+:class:`repro.core.search.DiffusionSearchNetwork` is the high-level entry
+point tying the stages together.
+"""
+
+from repro.core.personalization import (
+    PersonalizationWeighting,
+    personalization_vector,
+    personalization_matrix,
+)
+from repro.core.diffusion import DiffusionOutcome, diffuse_embeddings
+from repro.core.forwarding import (
+    DegreeBiasedPolicy,
+    EmbeddingGuidedPolicy,
+    ForwardingPolicy,
+    PrecomputedScorePolicy,
+    RandomWalkPolicy,
+)
+from repro.core.engine import WalkConfig, SearchResult, run_query
+from repro.core.aggregation import (
+    ChannelHasher,
+    MaxChannelPolicy,
+    channel_personalization,
+    channel_relevance_signals,
+)
+from repro.core.protocol import QueryMessage, QueryResponse, QueryRoutingNode
+from repro.core.search import DiffusionSearchNetwork
+
+__all__ = [
+    "PersonalizationWeighting",
+    "personalization_vector",
+    "personalization_matrix",
+    "DiffusionOutcome",
+    "diffuse_embeddings",
+    "ForwardingPolicy",
+    "EmbeddingGuidedPolicy",
+    "PrecomputedScorePolicy",
+    "RandomWalkPolicy",
+    "DegreeBiasedPolicy",
+    "WalkConfig",
+    "SearchResult",
+    "run_query",
+    "ChannelHasher",
+    "MaxChannelPolicy",
+    "channel_personalization",
+    "channel_relevance_signals",
+    "QueryMessage",
+    "QueryResponse",
+    "QueryRoutingNode",
+    "DiffusionSearchNetwork",
+]

@@ -1,0 +1,206 @@
+"""The walk engine: TTL-bounded query forwarding (paper §IV-C, Fig. 1).
+
+This is the synchronous fast path used by the experiment sweeps.  It executes
+*exactly* the per-node protocol of Fig. 1 — evaluate locally, decrement TTL,
+pick unvisited neighbors by embedding score, fall back to all neighbors when
+every neighbor was already involved (footnote 9) — while keeping all state in
+plain dictionaries instead of scheduling messages.  An integration test pins
+its walks to the event-driven :class:`repro.core.protocol.QueryRoutingNode`
+execution step for step, so the fast path is an accelerator, not a variant.
+
+Privacy note (paper §IV-C): visited state is the per-(query, node) memory of
+which neighbors a node received from / forwarded to — the query message never
+carries the visited set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.core.forwarding import ForwardingPolicy
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.retrieval.topk import ScoredDocument, TopKTracker
+from repro.retrieval.vector_store import DocumentStore
+from repro.utils import check_positive, ensure_rng
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class WalkConfig:
+    """Query execution parameters.
+
+    Attributes
+    ----------
+    ttl:
+        Time-to-live: the query message is forwarded while its decremented
+        TTL stays positive, so at most ``ttl`` nodes evaluate it (the source
+        at hop 0 through hop ``ttl − 1``).  The paper uses 50.
+    fanout:
+        Number of next hops selected at the source; 1 reproduces the paper's
+        single biased random walk, larger values run parallel walks.
+    k:
+        Size of the query's running top-k result tracker (paper evaluates
+        top-1).
+    """
+
+    ttl: int = 50
+    fanout: int = 1
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive(self.ttl, "ttl")
+        check_positive(self.fanout, "fanout")
+        check_positive(self.k, "k")
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one query execution."""
+
+    query_id: Hashable
+    start_node: int
+    tracker: TopKTracker
+    visits: list[tuple[int, int]]  # (hop index, node id) in processing order
+    discovered_at: dict[Hashable, int] = field(default_factory=dict)
+    messages: int = 0
+
+    @property
+    def results(self) -> list[ScoredDocument]:
+        """Final top-k documents, best first."""
+        return self.tracker.items()
+
+    @property
+    def best(self) -> ScoredDocument | None:
+        """The single best document found (None when nothing was found)."""
+        return self.tracker.best()
+
+    @property
+    def path(self) -> list[int]:
+        """Visited node ids in processing order (source first)."""
+        return [node for _, node in self.visits]
+
+    @property
+    def unique_nodes_visited(self) -> int:
+        return len({node for _, node in self.visits})
+
+    @property
+    def hops_used(self) -> int:
+        """Largest hop index reached by any walker."""
+        return max((hop for hop, _ in self.visits), default=0)
+
+    def found(self, doc_id: Hashable, *, top: int | None = None) -> bool:
+        """Did the query retrieve ``doc_id`` (within the best ``top`` results)?
+
+        With ``top=None`` membership in the final tracker suffices; the
+        paper's top-1 criterion is ``found(gold, top=1)``.
+        """
+        ids = self.tracker.doc_ids()
+        if top is not None:
+            ids = ids[:top]
+        return doc_id in ids
+
+    def hops_to(self, doc_id: Hashable) -> int | None:
+        """Hop index at which ``doc_id`` was first encountered (None if never)."""
+        return self.discovered_at.get(doc_id)
+
+
+_EMPTY_STORE_CACHE: dict[int, DocumentStore] = {}
+
+
+def _empty_store(dim: int) -> DocumentStore:
+    store = _EMPTY_STORE_CACHE.get(dim)
+    if store is None:
+        store = DocumentStore(dim)
+        _EMPTY_STORE_CACHE[dim] = store
+    return store
+
+
+def run_query(
+    adjacency: CompressedAdjacency,
+    stores: Mapping[int, DocumentStore],
+    policy: ForwardingPolicy,
+    query_embedding: np.ndarray,
+    start_node: int,
+    config: WalkConfig | None = None,
+    *,
+    query_id: Hashable = None,
+    seed: RngLike = None,
+) -> SearchResult:
+    """Execute one query from ``start_node`` per the Fig. 1 protocol.
+
+    Parameters
+    ----------
+    stores:
+        Node id → local :class:`DocumentStore`; nodes without an entry hold
+        no documents.
+    policy:
+        Next-hop selection (the paper's embedding-guided policy or a blind
+        baseline).
+    seed:
+        Drives stochastic policies only; the default embedding-guided policy
+        is deterministic.
+    """
+    config = config or WalkConfig()
+    rng = ensure_rng(seed)
+    query_embedding = np.asarray(query_embedding, dtype=np.float64)
+    if not 0 <= start_node < adjacency.n_nodes:
+        raise ValueError(f"start_node {start_node} out of range")
+
+    dim = query_embedding.shape[0]
+    tracker = TopKTracker(config.k)
+    result = SearchResult(
+        query_id=query_id,
+        start_node=int(start_node),
+        tracker=tracker,
+        visits=[],
+    )
+    # Per-(query, node) neighbor memory: who this node received from or
+    # forwarded to.  Kept engine-side but indexed per node — identical
+    # information to the distributed implementation.
+    memory: dict[int, set[int]] = {}
+
+    def visit(node: int, hop: int) -> None:
+        result.visits.append((hop, node))
+        store = stores.get(node) or _empty_store(dim)
+        for doc_id, score in store.top_k(query_embedding, config.k):
+            tracker.offer(doc_id, score, node)
+            result.discovered_at.setdefault(doc_id, hop)
+
+    def next_hops(node: int, fanout: int) -> np.ndarray:
+        neighbors = adjacency.neighbors(node)
+        if neighbors.size == 0:
+            return neighbors
+        seen = memory.get(node)
+        if seen:
+            mask = np.isin(neighbors, list(seen), invert=True, assume_unique=True)
+            candidates = neighbors[mask]
+        else:
+            candidates = neighbors
+        if candidates.size == 0:
+            # Footnote 9: don't waste the remaining TTL — consider everyone.
+            candidates = neighbors
+        return policy.select(query_embedding, candidates, fanout, rng)
+
+    # Walker queue processed in hop order: (node, hop, remaining ttl before
+    # this node's decrement, fanout for this node's forwarding decision).
+    frontier: deque[tuple[int, int, int, int]] = deque()
+    frontier.append((int(start_node), 0, config.ttl, config.fanout))
+
+    while frontier:
+        node, hop, ttl, fanout = frontier.popleft()
+        visit(node, hop)
+        ttl -= 1  # Fig. 1 step 3
+        if ttl <= 0:
+            continue  # Fig. 1 step 4b: discard (response backtracks)
+        for target in next_hops(node, fanout):
+            target = int(target)
+            memory.setdefault(node, set()).add(target)
+            memory.setdefault(target, set()).add(node)
+            result.messages += 1
+            frontier.append((target, hop + 1, ttl, 1))
+
+    return result

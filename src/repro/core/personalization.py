@@ -1,0 +1,80 @@
+"""Node personalization vectors (paper §IV-A).
+
+The paper represents each node by the *sum* of its document embeddings: by
+linearity, ``e_q · e0_v = Σ_d e_q · e_d`` is the total relevance of the
+node's documents (eq. 3).  The paper notes this "runs the risk of
+prioritizing nodes with many irrelevant documents over nodes with a few but
+relevant documents"; the alternative weightings here exist to ablate exactly
+that risk.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Mapping
+
+import numpy as np
+
+from repro.embeddings.similarity import l2_normalize
+from repro.retrieval.vector_store import DocumentStore
+
+PersonalizationWeighting = Literal["sum", "mean", "sqrt", "l2"]
+
+_WEIGHTINGS = ("sum", "mean", "sqrt", "l2")
+
+
+def personalization_vector(
+    doc_embeddings: np.ndarray,
+    weighting: PersonalizationWeighting = "sum",
+) -> np.ndarray:
+    """Summarize a document collection into one vector.
+
+    * ``sum`` — the paper's choice: favors large collections.
+    * ``mean`` — removes the collection-size bias entirely.
+    * ``sqrt`` — divides the sum by ``sqrt(m)``: keeps a damped size signal
+      while normalizing the variance of the summed noise.
+    * ``l2`` — unit-normalized sum: comparable scale across all nodes.
+    """
+    doc_embeddings = np.asarray(doc_embeddings, dtype=np.float64)
+    if doc_embeddings.ndim == 1:
+        doc_embeddings = doc_embeddings[None, :]
+    if doc_embeddings.ndim != 2:
+        raise ValueError(
+            f"doc_embeddings must be 1-D or 2-D, got shape {doc_embeddings.shape}"
+        )
+    count = doc_embeddings.shape[0]
+    if count == 0:
+        raise ValueError("cannot summarize an empty collection; handle upstream")
+    total = doc_embeddings.sum(axis=0)
+    if weighting == "sum":
+        return total
+    if weighting == "mean":
+        return total / count
+    if weighting == "sqrt":
+        return total / np.sqrt(count)
+    if weighting == "l2":
+        return l2_normalize(total)
+    raise ValueError(
+        f"unknown weighting {weighting!r}; expected one of {_WEIGHTINGS}"
+    )
+
+
+def personalization_matrix(
+    stores: Mapping[int, DocumentStore],
+    n_nodes: int,
+    dim: int,
+    weighting: PersonalizationWeighting = "sum",
+) -> np.ndarray:
+    """Stack per-node personalization vectors into the ``E0`` matrix.
+
+    Nodes with no documents get the zero vector: they advertise nothing, and
+    under PPR their diffused embedding is exactly the aggregation of their
+    neighborhood (eq. 6 with a zero personalization column).
+    """
+    matrix = np.zeros((n_nodes, dim), dtype=np.float64)
+    for node_id, store in stores.items():
+        if not 0 <= node_id < n_nodes:
+            raise ValueError(f"node id {node_id} out of range [0, {n_nodes})")
+        if len(store) == 0:
+            continue
+        matrix[node_id] = personalization_vector(store.matrix(), weighting)
+    return matrix

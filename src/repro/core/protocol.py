@@ -1,0 +1,165 @@
+"""Event-driven query routing: the message-level protocol of Fig. 1.
+
+:class:`QueryRoutingNode` is the decentralized execution of the walk engine:
+queries are relayed recursively node-to-node, each node keeps per-query
+memory of the neighbors it interacted with (privacy: the message itself never
+carries the visited set), and on TTL expiry a response message backtracks
+along the reverse path to the querying node.
+
+Backtracking uses a per-(query, node) LIFO stack of upstream hops, so walks
+that revisit a node still unwind correctly (the response retraces the exact
+forward path in reverse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.retrieval.scoring import top_k_indices
+from repro.retrieval.topk import ScoredDocument, TopKTracker
+from repro.retrieval.vector_store import DocumentStore
+from repro.runtime.node import SimNode
+
+
+@dataclass(frozen=True)
+class QueryMessage:
+    """A forwarded query: embedding, TTL budget, and the running top-k."""
+
+    query_id: Hashable
+    embedding: np.ndarray
+    ttl: int
+    k: int
+    items: tuple[ScoredDocument, ...] = ()
+
+    def size_bytes(self) -> float:
+        return 8.0 * np.asarray(self.embedding).size + 24.0 * len(self.items) + 32.0
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The expired query's results, backtracking toward the source."""
+
+    query_id: Hashable
+    items: tuple[ScoredDocument, ...]
+
+    def size_bytes(self) -> float:
+        return 24.0 * len(self.items) + 16.0
+
+
+class QueryRoutingNode(SimNode):
+    """A node executing local retrieval plus Fig. 1 forwarding.
+
+    Parameters
+    ----------
+    store:
+        The node's local document collection.
+    neighbor_embeddings:
+        Diffused embeddings of the node's one-hop neighbors, as collected
+        during the diffusion warm-up (paper §IV-B keeps exactly this state).
+        Missing neighbors score as zero vectors.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        store: DocumentStore,
+        neighbor_embeddings: dict[int, np.ndarray] | None = None,
+        *,
+        trace: list | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.store = store
+        self.neighbor_embeddings = {
+            int(k): np.asarray(v, dtype=np.float64)
+            for k, v in (neighbor_embeddings or {}).items()
+        }
+        # per-query state
+        self._memory: dict[Hashable, set[int]] = {}
+        self._upstream: dict[Hashable, list[int | None]] = {}
+        self.completed: dict[Hashable, tuple[ScoredDocument, ...]] = {}
+        self.trace = trace
+
+    # ---------------------------------------------------------------- public
+
+    def initiate(self, message: QueryMessage) -> None:
+        """Start a query at this node (the querying peer of §III-B)."""
+        self._process(None, message)
+
+    def update_neighbor_embedding(self, neighbor: int, embedding: np.ndarray) -> None:
+        """Refresh a stored neighbor embedding (diffusion keeps these current)."""
+        self.neighbor_embeddings[int(neighbor)] = np.asarray(
+            embedding, dtype=np.float64
+        )
+
+    # --------------------------------------------------------------- routing
+
+    def on_message(self, src: int, message: Any) -> None:
+        if isinstance(message, QueryMessage):
+            self._process(src, message)
+        elif isinstance(message, QueryResponse):
+            self._backtrack(message)
+
+    def _process(self, src: int | None, message: QueryMessage) -> None:
+        query_id = message.query_id
+        memory = self._memory.setdefault(query_id, set())
+        if src is not None:
+            memory.add(src)
+        if self.trace is not None:
+            self.trace.append((query_id, self.node_id))
+
+        # Fig. 1 step 2: evaluate on local documents.
+        tracker = TopKTracker.from_items(message.k, message.items)
+        for doc_id, score in self.store.top_k(message.embedding, message.k):
+            tracker.offer(doc_id, score, self.node_id)
+        items = tuple(tracker.items())
+
+        # Fig. 1 step 3: decrement TTL.
+        ttl = message.ttl - 1
+        neighbors = self.neighbors()
+        if ttl <= 0 or not neighbors:
+            # Fig. 1 steps 4b/5b: discard and notify the source by backtracking.
+            self._respond(src, QueryResponse(query_id, items))
+            return
+
+        # Fig. 1 steps 4a/5a: score unvisited neighbors, forward to the best.
+        candidates = np.asarray(
+            [n for n in neighbors if n not in memory], dtype=np.int64
+        )
+        if candidates.size == 0:
+            # Footnote 9: all neighbors already involved — consider them all.
+            candidates = np.asarray(neighbors, dtype=np.int64)
+        dim = np.asarray(message.embedding).shape[0]
+        scores = np.asarray(
+            [
+                float(
+                    message.embedding
+                    @ self.neighbor_embeddings.get(int(c), np.zeros(dim))
+                )
+                for c in candidates
+            ]
+        )
+        target = int(candidates[top_k_indices(scores, 1)[0]])
+        memory.add(target)
+        self._upstream.setdefault(query_id, []).append(src)
+        self.send(
+            target,
+            QueryMessage(query_id, message.embedding, ttl, message.k, items),
+        )
+
+    def _respond(self, src: int | None, response: QueryResponse) -> None:
+        if src is None:
+            self.completed[response.query_id] = response.items
+        else:
+            self.send(src, response)
+
+    def _backtrack(self, response: QueryResponse) -> None:
+        stack = self._upstream.get(response.query_id)
+        if not stack:
+            # No pending forward: we are the source (or state was cleaned up).
+            self.completed[response.query_id] = response.items
+            return
+        upstream = stack.pop()
+        self._respond(upstream, response)

@@ -1,0 +1,274 @@
+"""High-level facade: a searchable decentralized network in one object.
+
+Typical use (the full pipeline of paper §IV)::
+
+    net = DiffusionSearchNetwork(graph, dim=300, alpha=0.5)
+    net.place_document("doc-1", embedding, node=42)
+    net.diffuse()                      # PPR warm-up (Fig. 2 lines 3-6)
+    result = net.search(query_embedding, start_node=7, ttl=50)
+    result.best                        # best document found by the walk
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import networkx as nx
+import numpy as np
+
+from repro.core.diffusion import DiffusionOutcome, diffuse_embeddings
+from repro.core.engine import SearchResult, WalkConfig, run_query
+from repro.core.forwarding import EmbeddingGuidedPolicy, ForwardingPolicy
+from repro.core.personalization import (
+    PersonalizationWeighting,
+    personalization_matrix,
+)
+from repro.core.protocol import QueryMessage, QueryRoutingNode
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.gsp.normalization import NormalizationKind
+from repro.retrieval.topk import TopKTracker
+from repro.retrieval.vector_store import DocumentStore
+from repro.runtime.network import LatencyModel, SimNetwork
+from repro.utils.rng import RngLike
+
+
+class DiffusionSearchNetwork:
+    """A P2P network with per-node document collections and PPR diffusion.
+
+    Parameters
+    ----------
+    topology:
+        The P2P graph (``networkx.Graph`` or :class:`CompressedAdjacency`);
+        nodes are addressed by internal ids ``0..n-1``.
+    dim:
+        Embedding dimensionality shared by documents and queries.
+    alpha:
+        PPR teleport probability (paper: 0.1 heavy / 0.5 moderate / 0.9 light
+        diffusion).
+    weighting:
+        Personalization weighting (paper uses ``"sum"``; see
+        :mod:`repro.core.personalization` for the ablation variants).
+    """
+
+    def __init__(
+        self,
+        topology: CompressedAdjacency | nx.Graph,
+        dim: int,
+        *,
+        alpha: float = 0.5,
+        normalization: NormalizationKind = "column",
+        weighting: PersonalizationWeighting = "sum",
+    ) -> None:
+        if isinstance(topology, nx.Graph):
+            topology = CompressedAdjacency.from_networkx(topology)
+        self.adjacency = topology
+        self.dim = int(dim)
+        self.alpha = float(alpha)
+        self.normalization: NormalizationKind = normalization
+        self.weighting: PersonalizationWeighting = weighting
+        self.stores: dict[int, DocumentStore] = {}
+        self._doc_locations: dict[Hashable, int] = {}
+        self._embeddings: np.ndarray | None = None
+        self._last_outcome: DiffusionOutcome | None = None
+        self._stale = True
+
+    # ------------------------------------------------------------ documents
+
+    @property
+    def n_nodes(self) -> int:
+        return self.adjacency.n_nodes
+
+    @property
+    def n_documents(self) -> int:
+        return len(self._doc_locations)
+
+    def place_document(self, doc_id: Hashable, embedding: np.ndarray, node: int) -> None:
+        """Store a document at ``node`` (marks the diffusion stale)."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+        if doc_id in self._doc_locations:
+            raise ValueError(f"document {doc_id!r} is already placed; remove it first")
+        store = self.stores.get(node)
+        if store is None:
+            store = self.stores[node] = DocumentStore(self.dim)
+        store.add(doc_id, embedding)
+        self._doc_locations[doc_id] = node
+        self._stale = True
+
+    def place_documents(
+        self, placements: Iterable[tuple[Hashable, np.ndarray, int]]
+    ) -> None:
+        """Place many ``(doc_id, embedding, node)`` triples."""
+        for doc_id, embedding, node in placements:
+            self.place_document(doc_id, embedding, node)
+
+    def remove_document(self, doc_id: Hashable) -> None:
+        """Remove a document from wherever it is stored."""
+        node = self._doc_locations.pop(doc_id)
+        self.stores[node].remove(doc_id)
+        if len(self.stores[node]) == 0:
+            del self.stores[node]
+        self._stale = True
+
+    def clear_documents(self) -> None:
+        """Drop every document (e.g. between experiment iterations)."""
+        self.stores.clear()
+        self._doc_locations.clear()
+        self._stale = True
+
+    def location_of(self, doc_id: Hashable) -> int:
+        """Node currently holding ``doc_id``."""
+        return self._doc_locations[doc_id]
+
+    def documents_at(self, node: int) -> list[Hashable]:
+        """Document ids stored at ``node``."""
+        store = self.stores.get(node)
+        return store.doc_ids if store else []
+
+    # ------------------------------------------------------------- diffusion
+
+    def personalization(self) -> np.ndarray:
+        """The current ``E0`` matrix (one personalization row per node)."""
+        return personalization_matrix(
+            self.stores, self.n_nodes, self.dim, self.weighting
+        )
+
+    def diffuse(
+        self,
+        *,
+        method: str = "power",
+        tol: float = 1e-8,
+        max_iterations: int = 10_000,
+        latency: LatencyModel | None = None,
+        seed: RngLike = None,
+    ) -> DiffusionOutcome:
+        """Run the PPR diffusion warm-up and cache the node embeddings."""
+        outcome = diffuse_embeddings(
+            self.adjacency,
+            self.personalization(),
+            alpha=self.alpha,
+            method=method,
+            normalization=self.normalization,
+            tol=tol,
+            max_iterations=max_iterations,
+            latency=latency,
+            seed=seed,
+        )
+        self._embeddings = outcome.embeddings
+        self._last_outcome = outcome
+        self._stale = False
+        return outcome
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """Diffused node embeddings from the last :meth:`diffuse` call.
+
+        May be *stale* if documents changed since; check :attr:`is_stale`.
+        (A live network is transiently stale too, until re-diffusion
+        propagates the update.)
+        """
+        if self._embeddings is None:
+            raise RuntimeError(
+                "no diffusion has been run; call .diffuse() after placing documents"
+            )
+        return self._embeddings
+
+    @property
+    def is_stale(self) -> bool:
+        """True when documents changed after the last diffusion."""
+        return self._stale
+
+    @property
+    def last_diffusion(self) -> DiffusionOutcome | None:
+        return self._last_outcome
+
+    # ---------------------------------------------------------------- search
+
+    def default_policy(self) -> EmbeddingGuidedPolicy:
+        """The paper's forwarding policy over the cached embeddings."""
+        return EmbeddingGuidedPolicy(self.embeddings)
+
+    def search(
+        self,
+        query_embedding: np.ndarray,
+        start_node: int,
+        *,
+        ttl: int = 50,
+        fanout: int = 1,
+        k: int = 1,
+        policy: ForwardingPolicy | None = None,
+        query_id: Hashable = None,
+        seed: RngLike = None,
+    ) -> SearchResult:
+        """Execute a query with the fast walk engine."""
+        config = WalkConfig(ttl=ttl, fanout=fanout, k=k)
+        return run_query(
+            self.adjacency,
+            self.stores,
+            policy or self.default_policy(),
+            query_embedding,
+            start_node,
+            config,
+            query_id=query_id,
+            seed=seed,
+        )
+
+    def search_on_runtime(
+        self,
+        query_embedding: np.ndarray,
+        start_node: int,
+        *,
+        ttl: int = 50,
+        k: int = 1,
+        query_id: Hashable = "query",
+        latency: LatencyModel | None = None,
+        seed: RngLike = None,
+        max_events: int | None = None,
+    ) -> SearchResult:
+        """Execute the same query through the event-driven message protocol.
+
+        Builds a :class:`SimNetwork` of :class:`QueryRoutingNode` actors
+        (each holding only its own store and its neighbors' diffused
+        embeddings), runs to quiescence including response backtracking, and
+        reconstructs a :class:`SearchResult`.  Single-walk (fanout 1), as in
+        the paper's evaluation.
+        """
+        embeddings = self.embeddings
+        network = SimNetwork(self.adjacency, latency=latency, seed=seed)
+        trace: list[tuple[Hashable, int]] = []
+        dim = self.dim
+        for node_id in range(self.n_nodes):
+            neighbor_embeddings = {
+                int(v): embeddings[int(v)] for v in self.adjacency.neighbors(node_id)
+            }
+            store = self.stores.get(node_id) or DocumentStore(dim)
+            network.attach(
+                QueryRoutingNode(
+                    node_id, store, neighbor_embeddings, trace=trace
+                )
+            )
+        network.start()
+        source = network.actor(start_node)
+        assert isinstance(source, QueryRoutingNode)
+        source.initiate(
+            QueryMessage(query_id, np.asarray(query_embedding, float), ttl, k)
+        )
+        network.run(max_events=max_events)
+
+        items = source.completed.get(query_id, ())
+        tracker = TopKTracker.from_items(k, items)
+        result = SearchResult(
+            query_id=query_id,
+            start_node=int(start_node),
+            tracker=tracker,
+            visits=[(hop, node) for hop, (_, node) in enumerate(trace)],
+            messages=network.stats.messages,
+        )
+        # Reconstruct first-discovery hops from the visit order.
+        for hop, (_, node) in enumerate(trace):
+            store = self.stores.get(node)
+            if store is None:
+                continue
+            for doc_id, _ in store.top_k(query_embedding, k):
+                result.discovered_at.setdefault(doc_id, hop)
+        return result

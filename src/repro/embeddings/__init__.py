@@ -1,0 +1,46 @@
+"""Embedding substrate: the dense-retrieval vector spaces of the paper.
+
+The paper represents documents and queries with 300-d GloVe word vectors.  With
+no network access, this package provides two from-scratch substitutes:
+
+* :mod:`repro.embeddings.synthetic` — a clustered unit-vector model calibrated
+  to the geometric properties retrieval relies on (high-cosine gold neighbors,
+  near-orthogonal irrelevant words).
+* :mod:`repro.embeddings.cooccurrence` — a miniature GloVe-style trainer
+  (synthetic corpus → co-occurrence counts → SPPMI → truncated SVD).
+
+Both produce a :class:`repro.embeddings.model.WordEmbeddingModel`.
+"""
+
+from repro.embeddings.model import WordEmbeddingModel
+from repro.embeddings.similarity import (
+    l2_normalize,
+    cosine_similarity,
+    dot_scores,
+    pairwise_cosine,
+)
+from repro.embeddings.synthetic import SyntheticCorpusConfig, synthetic_word_embeddings
+from repro.embeddings.cooccurrence import (
+    CooccurrenceCounts,
+    count_cooccurrences,
+    sppmi_matrix,
+    train_svd_embeddings,
+)
+from repro.embeddings.text import ZipfCorpusConfig, generate_topic_corpus, tokenize
+
+__all__ = [
+    "WordEmbeddingModel",
+    "l2_normalize",
+    "cosine_similarity",
+    "dot_scores",
+    "pairwise_cosine",
+    "SyntheticCorpusConfig",
+    "synthetic_word_embeddings",
+    "CooccurrenceCounts",
+    "count_cooccurrences",
+    "sppmi_matrix",
+    "train_svd_embeddings",
+    "ZipfCorpusConfig",
+    "generate_topic_corpus",
+    "tokenize",
+]

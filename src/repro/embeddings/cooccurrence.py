@@ -1,0 +1,151 @@
+"""From-scratch distributional embedding trainer (GloVe-family substitute).
+
+Pipeline: tokenized sentences → windowed co-occurrence counts → shifted
+positive PMI matrix → truncated SVD.  Levy & Goldberg (2014) showed this
+factorization is implicitly what skip-gram/GloVe-style models optimize, so it
+is a faithful, dependency-free stand-in for "pre-trained word vectors" and
+demonstrates that the search scheme is agnostic to the embedding source
+(paper §V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import svds
+
+from repro.embeddings.model import WordEmbeddingModel
+from repro.embeddings.similarity import l2_normalize
+from repro.utils import check_non_negative, check_positive
+
+
+@dataclass
+class CooccurrenceCounts:
+    """Symmetric windowed co-occurrence statistics over a fixed vocabulary."""
+
+    vocabulary: list[str]
+    matrix: sp.csr_matrix  # (n_words, n_words), symmetric counts
+    word_counts: np.ndarray  # marginal occurrence counts per word
+    total_pairs: float  # total number of counted (word, context) pairs
+
+    def __post_init__(self) -> None:
+        n = len(self.vocabulary)
+        if self.matrix.shape != (n, n):
+            raise ValueError(
+                f"matrix shape {self.matrix.shape} does not match vocabulary size {n}"
+            )
+        if self.word_counts.shape != (n,):
+            raise ValueError("word_counts must be aligned with the vocabulary")
+
+
+def count_cooccurrences(
+    sentences: Iterable[Sequence[str]],
+    vocabulary: Sequence[str],
+    *,
+    window: int = 4,
+) -> CooccurrenceCounts:
+    """Count symmetric co-occurrences of ``vocabulary`` words within ``window``.
+
+    Out-of-vocabulary tokens are skipped (they do not break the window, which
+    matches the common practice of filtering the corpus to the vocabulary).
+    """
+    check_positive(window, "window")
+    vocabulary = list(vocabulary)
+    index = {word: i for i, word in enumerate(vocabulary)}
+    n = len(vocabulary)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    word_counts = np.zeros(n, dtype=np.float64)
+    total_pairs = 0.0
+
+    for sentence in sentences:
+        ids = [index[tok] for tok in sentence if tok in index]
+        for pos, wid in enumerate(ids):
+            word_counts[wid] += 1.0
+            upper = min(len(ids), pos + window + 1)
+            for ctx_pos in range(pos + 1, upper):
+                cid = ids[ctx_pos]
+                rows.append(wid)
+                cols.append(cid)
+                total_pairs += 2.0  # counted once here, symmetrized below
+
+    if rows:
+        data = np.ones(len(rows), dtype=np.float64)
+        half = sp.coo_matrix((data, (rows, cols)), shape=(n, n))
+        matrix = (half + half.T).tocsr()
+    else:
+        matrix = sp.csr_matrix((n, n), dtype=np.float64)
+    return CooccurrenceCounts(vocabulary, matrix, word_counts, total_pairs)
+
+
+def sppmi_matrix(counts: CooccurrenceCounts, *, shift: float = 1.0) -> sp.csr_matrix:
+    """Shifted positive pointwise mutual information of the co-occurrences.
+
+    ``SPPMI[i, j] = max(0, log(P(i, j) / (P(i) P(j))) − log(shift))`` computed
+    only on observed pairs (unobserved pairs have PMI −inf, clipped to 0, so
+    the sparse structure is preserved).
+    """
+    check_non_negative(shift, "shift")
+    coo = counts.matrix.tocoo()
+    if coo.nnz == 0:
+        return sp.csr_matrix(counts.matrix.shape, dtype=np.float64)
+
+    pair_total = coo.data.sum()
+    context_totals = np.asarray(counts.matrix.sum(axis=0)).ravel()
+    word_totals = np.asarray(counts.matrix.sum(axis=1)).ravel()
+
+    p_ij = coo.data / pair_total
+    p_i = word_totals[coo.row] / pair_total
+    p_j = context_totals[coo.col] / pair_total
+    with np.errstate(divide="ignore"):
+        pmi = np.log(p_ij / (p_i * p_j))
+    if shift > 0:
+        pmi = pmi - np.log(shift) if shift != 1.0 else pmi
+    data = np.maximum(pmi, 0.0)
+    result = sp.coo_matrix((data, (coo.row, coo.col)), shape=counts.matrix.shape)
+    result.eliminate_zeros()
+    return result.tocsr()
+
+
+def train_svd_embeddings(
+    counts: CooccurrenceCounts,
+    dim: int,
+    *,
+    shift: float = 1.0,
+    context_weight: float = 0.5,
+    normalize: bool = True,
+) -> WordEmbeddingModel:
+    """Factorize the SPPMI matrix with truncated SVD into word embeddings.
+
+    ``context_weight`` controls the eigenvalue weighting
+    ``W = U diag(S^context_weight)``; 0.5 (symmetric split) is the standard
+    choice for similarity tasks.
+    """
+    check_positive(dim, "dim")
+    n = len(counts.vocabulary)
+    if dim >= n:
+        raise ValueError(
+            f"dim must be smaller than the vocabulary size ({n}), got {dim}"
+        )
+    sppmi = sppmi_matrix(counts, shift=shift)
+    if sppmi.nnz == 0:
+        raise ValueError("SPPMI matrix is empty; corpus too small or shift too large")
+    u, s, _ = svds(sppmi.astype(np.float64), k=dim)
+    # svds returns singular values in ascending order; flip for convention.
+    order = np.argsort(-s)
+    u, s = u[:, order], s[order]
+    vectors = u * (s ** context_weight)
+    if normalize:
+        vectors = l2_normalize(vectors)
+    metadata = {
+        "generator": "train_svd_embeddings",
+        "dim": dim,
+        "shift": shift,
+        "context_weight": context_weight,
+        "singular_values": s,
+    }
+    return WordEmbeddingModel(counts.vocabulary, vectors, metadata)

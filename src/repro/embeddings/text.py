@@ -1,0 +1,113 @@
+"""Synthetic text corpus generation and tokenization.
+
+Feeds the from-scratch embedding trainer (:mod:`repro.embeddings.cooccurrence`)
+with sentences whose word co-occurrence statistics mirror a topical corpus:
+each sentence draws most of its words from one semantic cluster plus a
+background of globally frequent words, so words sharing a topic co-occur far
+more often than chance — the signal GloVe-style factorizations pick up.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.utils import check_positive, check_probability, ensure_rng
+from repro.utils.rng import RngLike
+
+_TOKEN_RE = re.compile(r"[a-z0-9_]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case and split ``text`` into alphanumeric tokens."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class ZipfCorpusConfig:
+    """Parameters of the synthetic topical corpus.
+
+    Attributes
+    ----------
+    n_sentences:
+        Number of sentences to generate.
+    sentence_length:
+        Mean sentence length (Poisson distributed, at least 2 tokens).
+    topic_adherence:
+        Probability that each token is drawn from the sentence's topic rather
+        than from the global Zipf background.
+    """
+
+    n_sentences: int = 2_000
+    sentence_length: int = 12
+    topic_adherence: float = 0.8
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_sentences, "n_sentences")
+        check_positive(self.sentence_length, "sentence_length")
+        check_probability(self.topic_adherence, "topic_adherence")
+
+
+def generate_topic_corpus(
+    vocabulary: Sequence[str],
+    topic_of: np.ndarray,
+    frequencies: np.ndarray,
+    config: ZipfCorpusConfig | None = None,
+    *,
+    seed: RngLike = None,
+) -> Iterator[list[str]]:
+    """Yield synthetic sentences over ``vocabulary``.
+
+    Parameters
+    ----------
+    vocabulary:
+        Word list; index-aligned with ``topic_of`` and ``frequencies``.
+    topic_of:
+        Integer topic id per word; words with topic −1 only appear as
+        background noise.
+    frequencies:
+        Global occurrence probabilities per word (will be normalized).
+    """
+    config = config or ZipfCorpusConfig()
+    rng = ensure_rng(seed)
+    topic_of = np.asarray(topic_of, dtype=np.int64)
+    frequencies = np.asarray(frequencies, dtype=np.float64)
+    if len(vocabulary) != topic_of.shape[0] or len(vocabulary) != frequencies.shape[0]:
+        raise ValueError("vocabulary, topic_of and frequencies must be aligned")
+    frequencies = frequencies / frequencies.sum()
+
+    topics = np.unique(topic_of[topic_of >= 0])
+    if topics.size == 0:
+        raise ValueError("topic_of assigns no word to any topic")
+    members: dict[int, np.ndarray] = {
+        int(t): np.flatnonzero(topic_of == t) for t in topics
+    }
+    # Topic popularity proportional to the total frequency of its members.
+    topic_weights = np.asarray(
+        [frequencies[members[int(t)]].sum() for t in topics], dtype=np.float64
+    )
+    topic_weights = topic_weights / topic_weights.sum()
+
+    all_indices = np.arange(len(vocabulary))
+    for _ in range(config.n_sentences):
+        topic = int(topics[rng.choice(topics.size, p=topic_weights)])
+        member_idx = members[topic]
+        member_probs = frequencies[member_idx]
+        member_probs = member_probs / member_probs.sum()
+        length = max(2, int(rng.poisson(config.sentence_length)))
+        sentence: list[str] = []
+        for _ in range(length):
+            if rng.random() < config.topic_adherence:
+                word_idx = int(member_idx[rng.choice(member_idx.size, p=member_probs)])
+            else:
+                word_idx = int(all_indices[rng.choice(all_indices.size, p=frequencies)])
+            sentence.append(vocabulary[word_idx])
+        yield sentence
+
+
+def corpus_to_text(sentences: Iterable[Sequence[str]]) -> str:
+    """Join tokenized sentences back into a whitespace/newline text blob."""
+    return "\n".join(" ".join(sentence) for sentence in sentences)

@@ -1,0 +1,12 @@
+"""Per-figure/table experiment drivers (CLI entry points).
+
+Run with ``python -m repro.experiments.fig3_accuracy [--full]`` etc.  Without
+``--full`` (or ``REPRO_FULL=1``) the drivers use a scaled-down configuration
+that preserves the shapes the paper reports while completing in minutes; with
+it they run the paper-scale setup (4,039-node graph, 1,000 queries, 500
+Table-I iterations).
+"""
+
+from repro.experiments.common import ExperimentEnvironment, get_environment
+
+__all__ = ["ExperimentEnvironment", "get_environment"]

@@ -1,0 +1,94 @@
+"""Fig. 3 driver: hit accuracy vs. query–gold distance.
+
+Reproduces all four panels (M = 10, 100, 1000, 10000 documents) with
+alpha ∈ {0.1, 0.5, 0.9}, TTL 50, top-1 tracking, single walks.
+
+Usage::
+
+    python -m repro.experiments.fig3_accuracy [--full] [--iterations N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.common import get_environment, resolve_full
+from repro.simulation.metrics import AccuracyGrid
+from repro.simulation.reporting import format_accuracy_grid, sparkline, write_csv
+from repro.simulation.runner import run_accuracy_experiment
+from repro.simulation.scenario import AccuracyScenario
+
+PAPER_DOCUMENT_COUNTS = (10, 100, 1000, 10000)
+PAPER_ALPHAS = (0.1, 0.5, 0.9)
+PANEL_OF = {10: "3a", 100: "3b", 1000: "3c", 10000: "3d"}
+
+
+def run_panel(
+    n_documents: int,
+    *,
+    full: bool = False,
+    iterations: int | None = None,
+    seed: int = 0,
+) -> AccuracyGrid:
+    """Run one Fig. 3 panel and return its accuracy grid."""
+    env = get_environment(full)
+    if iterations is None:
+        iterations = 300 if full else 60
+    scenario = AccuracyScenario(
+        n_documents=n_documents,
+        alphas=PAPER_ALPHAS,
+        max_distance=8,
+        ttl=50,
+        iterations=iterations,
+        seed=seed,
+    )
+    return run_accuracy_experiment(env.adjacency, env.workload, scenario)
+
+
+def run_all(
+    *,
+    full: bool = False,
+    iterations: int | None = None,
+    document_counts: tuple[int, ...] = PAPER_DOCUMENT_COUNTS,
+) -> dict[int, AccuracyGrid]:
+    """Run every panel; returns {n_documents: grid}."""
+    return {
+        m: run_panel(m, full=full, iterations=iterations) for m in document_counts
+    }
+
+
+def render(results: dict[int, AccuracyGrid], label: str) -> str:
+    """Human-readable report of all panels, matching the paper's layout."""
+    lines = [f"Fig. 3 — hit accuracy vs distance ({label} configuration)", ""]
+    for m, grid in results.items():
+        panel = PANEL_OF.get(m, f"M={m}")
+        lines.append(format_accuracy_grid(grid, title=f"Fig. {panel}: M = {m} documents"))
+        for alpha in grid.alphas:
+            lines.append(f"  a={alpha:g} |{sparkline(grid.series(alpha))}|")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale configuration")
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--csv", type=str, default=None, help="write cells to CSV")
+    args = parser.parse_args(argv)
+
+    full = resolve_full(args.full)
+    results = run_all(full=full, iterations=args.iterations)
+    print(render(results, get_environment(full).label))
+
+    if args.csv:
+        rows = []
+        for m, grid in results.items():
+            for row in grid.as_rows():
+                rows.append({"n_documents": m, **row})
+        write_csv(args.csv, rows)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Time-evolving conditions: search accuracy under stale diffusion state.
+
+The paper defers "time-evolving conditions" to future work (§V-B).  This
+experiment quantifies the cost of staleness: documents keep moving after the
+diffusion warm-up, and queries route on embeddings computed for the *old*
+placement.  The sweep re-places a growing fraction of the documents without
+re-diffusing and measures the top-1 hit rate, answering the operational
+question "how often must the network re-diffuse?".
+
+Usage::
+
+    python -m repro.experiments.staleness [--full] [--iterations N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core.engine import WalkConfig, run_query
+from repro.core.forwarding import PrecomputedScorePolicy
+from repro.experiments.common import get_environment, resolve_full
+from repro.simulation.placement import build_stores
+from repro.simulation.reporting import format_rows
+from repro.utils.rng import spawn_rngs
+
+DEFAULT_STALE_FRACTIONS = (0.0, 0.1, 0.25, 0.5, 1.0)
+
+
+def staleness_sweep(
+    *,
+    n_documents: int = 1000,
+    stale_fractions: tuple[float, ...] = DEFAULT_STALE_FRACTIONS,
+    alpha: float = 0.5,
+    ttl: int = 50,
+    starts_per_iteration: int = 4,
+    full: bool = False,
+    iterations: int | None = None,
+) -> list[dict[str, object]]:
+    """Hit rate when a fraction of documents moved after the last diffusion.
+
+    ``stale_fraction = 0`` is the paper's setting (fresh diffusion);
+    ``1.0`` means every document — including the gold — moved, so the
+    diffusion hints describe a placement that no longer exists.
+    """
+    from repro.simulation.runner import IterationSampler
+
+    env = get_environment(full)
+    if iterations is None:
+        iterations = 150 if full else 50
+    sampler = IterationSampler(env.adjacency, env.workload)
+    config = WalkConfig(ttl=ttl, fanout=1, k=1)
+    n = env.adjacency.n_nodes
+
+    successes = {fraction: 0 for fraction in stale_fractions}
+    total = 0
+    for rng in spawn_rngs(53, iterations):
+        data = sampler.sample(n_documents, rng)
+        # Diffusion runs on the original placement...
+        scores = sampler.diffuse_scores(data.relevance_signal, alpha)
+        policy = PrecomputedScorePolicy(scores)
+
+        # ...then documents move. Rebuild the true stores per fraction.
+        doc_ids, embeddings, nodes = [], [], []
+        for node, store in data.stores.items():
+            for doc_id in store.doc_ids:
+                doc_ids.append(doc_id)
+                embeddings.append(store.embedding_of(doc_id))
+                nodes.append(node)
+        embeddings = np.vstack(embeddings)
+        nodes = np.asarray(nodes, dtype=np.int64)
+
+        starts = rng.integers(0, n, size=starts_per_iteration)
+        total += starts_per_iteration
+        for fraction in stale_fractions:
+            moved_nodes = nodes.copy()
+            n_moved = int(round(fraction * len(doc_ids)))
+            if n_moved:
+                which = rng.choice(len(doc_ids), size=n_moved, replace=False)
+                moved_nodes[which] = rng.integers(0, n, size=n_moved)
+            stores = build_stores(doc_ids, embeddings, moved_nodes, env.model.dim)
+            # paired design: identical starts across fractions cut variance
+            for start in starts:
+                result = run_query(
+                    env.adjacency, stores, policy,
+                    data.query_embedding, int(start), config,
+                )
+                successes[fraction] += result.found(data.gold_word, top=1)
+
+    return [
+        {
+            "stale fraction": fraction,
+            "success rate": round(successes[fraction] / total, 3),
+        }
+        for fraction in stale_fractions
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--documents", type=int, default=1000)
+    args = parser.parse_args(argv)
+    rows = staleness_sweep(
+        n_documents=args.documents,
+        full=resolve_full(args.full),
+        iterations=args.iterations,
+    )
+    print(
+        format_rows(
+            rows,
+            title=(
+                f"search under stale diffusion state, M={args.documents}, "
+                "alpha=0.5 (paper future work: time-evolving conditions)"
+            ),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""Table I driver: average hop count of successful queries.
+
+For alpha = 0.5 and M ∈ {10, 100, 1000, 10000}: distribute 1 gold + (M−1)
+irrelevant documents per iteration, launch 10 uniformly placed queries per
+iteration, and report success rate plus median / mean / std hops to the gold
+document over all samples (paper: 500 iterations = 5,000 samples).
+
+Usage::
+
+    python -m repro.experiments.table1_hops [--full] [--iterations N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.common import get_environment, resolve_full
+from repro.simulation.metrics import HopStatistics
+from repro.simulation.reporting import format_rows, write_csv
+from repro.simulation.runner import run_hop_count_experiment
+from repro.simulation.scenario import HopCountScenario
+
+PAPER_DOCUMENT_COUNTS = (10, 100, 1000, 10000)
+
+#: Table I as printed in the paper, for side-by-side comparison.
+PAPER_TABLE1 = {
+    10: {"success": "1905 / 5000", "median": 3, "mean": 7.62, "std": 10.83},
+    100: {"success": "1265 / 5000", "median": 4, "mean": 11.21, "std": 13.37},
+    1000: {"success": "1054 / 5000", "median": 9, "mean": 15.26, "std": 14.55},
+    10000: {"success": "877 / 5000", "median": 9, "mean": 14.31, "std": 13.36},
+}
+
+
+def run_row(
+    n_documents: int,
+    *,
+    full: bool = False,
+    iterations: int | None = None,
+    seed: int = 0,
+) -> HopStatistics:
+    """Run one Table I row."""
+    env = get_environment(full)
+    if iterations is None:
+        iterations = 500 if full else 120
+    scenario = HopCountScenario(
+        n_documents=n_documents,
+        alpha=0.5,
+        iterations=iterations,
+        queries_per_iteration=10,
+        ttl=50,
+        seed=seed,
+    )
+    return run_hop_count_experiment(env.adjacency, env.workload, scenario)
+
+
+def run_all(
+    *,
+    full: bool = False,
+    iterations: int | None = None,
+    document_counts: tuple[int, ...] = PAPER_DOCUMENT_COUNTS,
+) -> dict[int, HopStatistics]:
+    """Run every row; returns {n_documents: statistics}."""
+    return {m: run_row(m, full=full, iterations=iterations) for m in document_counts}
+
+
+def render(results: dict[int, HopStatistics], label: str) -> str:
+    """Measured table next to the paper's printed values."""
+    rows = []
+    for m, stats in results.items():
+        paper = PAPER_TABLE1.get(m, {})
+        rows.append(
+            {
+                **stats.as_row(),
+                "paper success": paper.get("success", "-"),
+                "paper median": paper.get("median", "-"),
+                "paper mean": paper.get("mean", "-"),
+            }
+        )
+    return format_rows(
+        rows, title=f"Table I — average hop count ({label} configuration)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale configuration")
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--csv", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    full = resolve_full(args.full)
+    results = run_all(full=full, iterations=args.iterations)
+    print(render(results, get_environment(full).label))
+
+    if args.csv:
+        write_csv(args.csv, [stats.as_row() for stats in results.values()])
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

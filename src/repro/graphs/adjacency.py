@@ -1,0 +1,154 @@
+"""Compact CSR adjacency used by the walk engine and the diffusion kernels.
+
+``networkx`` graphs are the user-facing representation; hot paths (BFS,
+TTL-bounded walks, diffusion) run over :class:`CompressedAdjacency`, an
+immutable CSR structure with nodes relabeled to ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+
+class CompressedAdjacency:
+    """Immutable undirected adjacency in CSR form.
+
+    Attributes
+    ----------
+    indptr, indices:
+        Standard CSR row pointers and column indices; the neighbors of node
+        ``u`` are ``indices[indptr[u]:indptr[u+1]]``, sorted ascending.
+    labels:
+        Original node labels, index-aligned with the internal ids.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: Sequence[Hashable] | None = None,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise ValueError("malformed indptr")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        self.n_nodes = self.indptr.shape[0] - 1
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_nodes
+        ):
+            raise ValueError("indices out of range")
+        if labels is None:
+            labels = list(range(self.n_nodes))
+        labels = list(labels)
+        if len(labels) != self.n_nodes:
+            raise ValueError(
+                f"{len(labels)} labels for {self.n_nodes} nodes"
+            )
+        self.labels = labels
+        self._label_to_id = {label: i for i, label in enumerate(labels)}
+        self._degrees = np.diff(self.indptr).astype(np.int64)
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "CompressedAdjacency":
+        """Build from an undirected :class:`networkx.Graph`.
+
+        Self-loops are dropped (a node never forwards a query to itself).
+        """
+        if graph.is_directed():
+            raise ValueError("graph must be undirected")
+        labels = list(graph.nodes())
+        index = {label: i for i, label in enumerate(labels)}
+        neighbor_lists: list[list[int]] = [[] for _ in labels]
+        for u, v in graph.edges():
+            if u == v:
+                continue
+            ui, vi = index[u], index[v]
+            neighbor_lists[ui].append(vi)
+            neighbor_lists[vi].append(ui)
+        indptr = np.zeros(len(labels) + 1, dtype=np.int64)
+        for i, neigh in enumerate(neighbor_lists):
+            indptr[i + 1] = indptr[i] + len(neigh)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for i, neigh in enumerate(neighbor_lists):
+            neigh.sort()
+            indices[indptr[i] : indptr[i + 1]] = neigh
+        return cls(indptr, indices, labels)
+
+    @classmethod
+    def from_edges(
+        cls, n_nodes: int, edges: Iterable[tuple[int, int]]
+    ) -> "CompressedAdjacency":
+        """Build from integer edge pairs over nodes ``0..n_nodes-1``."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n_nodes))
+        graph.add_edges_from(edges)
+        return cls.from_networkx(graph)
+
+    # --------------------------------------------------------------- queries
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbor ids of ``node`` (read-only CSR slice, sorted)."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        return int(self._degrees[node])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree vector (copy not taken; treat as read-only)."""
+        return self._degrees
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.indices.shape[0] // 2)
+
+    def id_of(self, label: Hashable) -> int:
+        """Internal id of the original node ``label``."""
+        return self._label_to_id[label]
+
+    def label_of(self, node: int) -> Hashable:
+        """Original label of internal id ``node``."""
+        return self.labels[node]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when ``u`` and ``v`` are adjacent (binary search)."""
+        neigh = self.neighbors(u)
+        pos = int(np.searchsorted(neigh, v))
+        return pos < neigh.shape[0] and neigh[pos] == v
+
+    # ------------------------------------------------------------ conversion
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Unweighted adjacency as a ``scipy.sparse.csr_matrix``."""
+        data = np.ones(self.indices.shape[0], dtype=np.float64)
+        return sp.csr_matrix(
+            (data, self.indices.copy(), self.indptr.copy()),
+            shape=(self.n_nodes, self.n_nodes),
+        )
+
+    def to_networkx(self) -> nx.Graph:
+        """Rebuild a :class:`networkx.Graph` with the original labels."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.labels)
+        for u in range(self.n_nodes):
+            for v in self.neighbors(u):
+                if u < v:
+                    graph.add_edge(self.labels[u], self.labels[int(v)])
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"CompressedAdjacency(n_nodes={self.n_nodes}, n_edges={self.n_edges})"
+        )

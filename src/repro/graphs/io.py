@@ -1,0 +1,63 @@
+"""SNAP edge-list I/O.
+
+The SNAP datasets (including ``facebook_combined.txt``) are whitespace-
+separated integer pairs with ``#`` comment lines.  When the real dataset is
+available on disk, :func:`load_snap_edge_list` drops it straight into the
+experiment harness in place of the synthetic social graph.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO
+
+import networkx as nx
+
+
+def _open_maybe_gzip(path: Path, mode: str) -> IO:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def load_snap_edge_list(path: str | Path, *, relabel: bool = True) -> nx.Graph:
+    """Load an undirected SNAP edge list (optionally gzip-compressed).
+
+    Parameters
+    ----------
+    relabel:
+        When True (default) nodes are relabeled to contiguous integers
+        ``0..n-1`` ordered by original id, as the engine expects.
+    """
+    path = Path(path)
+    graph = nx.Graph()
+    with _open_maybe_gzip(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{line_no}: expected two node ids, got {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u == v:
+                continue
+            graph.add_edge(u, v)
+    if graph.number_of_nodes() == 0:
+        raise ValueError(f"no edges found in {path}")
+    if relabel:
+        graph = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    return graph
+
+
+def save_snap_edge_list(graph: nx.Graph, path: str | Path, *, header: str | None = None) -> None:
+    """Write ``graph`` in SNAP edge-list format (gzip if path ends in .gz)."""
+    path = Path(path)
+    with _open_maybe_gzip(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# Nodes: {graph.number_of_nodes()} Edges: {graph.number_of_edges()}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")

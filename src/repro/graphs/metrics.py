@@ -1,0 +1,196 @@
+"""Graph measurements: BFS distances, clustering, degree statistics.
+
+BFS runs over :class:`~repro.graphs.adjacency.CompressedAdjacency` because the
+experiment harness calls it once per iteration (distances from the gold
+document's node define Fig. 3's x-axis).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.utils import ensure_rng
+from repro.utils.rng import RngLike
+
+UNREACHABLE = -1
+
+
+def bfs_distances(adjacency: CompressedAdjacency, source: int) -> np.ndarray:
+    """Hop distance from ``source`` to every node (−1 when unreachable)."""
+    if not 0 <= source < adjacency.n_nodes:
+        raise ValueError(f"source {source} out of range")
+    dist = np.full(adjacency.n_nodes, UNREACHABLE, dtype=np.int64)
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    indptr, indices = adjacency.indptr, adjacency.indices
+    while queue:
+        u = queue.popleft()
+        next_d = dist[u] + 1
+        for v in indices[indptr[u] : indptr[u + 1]]:
+            if dist[v] == UNREACHABLE:
+                dist[v] = next_d
+                queue.append(int(v))
+    return dist
+
+
+def nodes_at_distance(
+    adjacency: CompressedAdjacency,
+    source: int,
+    distance: int,
+    *,
+    distances: np.ndarray | None = None,
+) -> np.ndarray:
+    """Ids of all nodes exactly ``distance`` hops from ``source``.
+
+    Pass a precomputed ``distances`` array (from :func:`bfs_distances`) to
+    avoid re-running BFS for every radius.
+    """
+    if distances is None:
+        distances = bfs_distances(adjacency, source)
+    return np.flatnonzero(distances == distance)
+
+
+def distance_histogram(
+    adjacency: CompressedAdjacency,
+    *,
+    n_sources: int | None = None,
+    seed: RngLike = None,
+) -> dict[int, int]:
+    """Histogram of pairwise hop distances, sampled over ``n_sources`` BFS
+    roots (all nodes when ``None``)."""
+    rng = ensure_rng(seed)
+    n = adjacency.n_nodes
+    if n_sources is None or n_sources >= n:
+        sources = np.arange(n)
+    else:
+        sources = rng.choice(n, size=n_sources, replace=False)
+    histogram: dict[int, int] = {}
+    for source in sources:
+        dist = bfs_distances(adjacency, int(source))
+        values, counts = np.unique(dist[dist > 0], return_counts=True)
+        for value, count in zip(values, counts):
+            histogram[int(value)] = histogram.get(int(value), 0) + int(count)
+    return histogram
+
+
+def estimate_diameter(
+    adjacency: CompressedAdjacency,
+    *,
+    n_sweeps: int = 4,
+    seed: RngLike = None,
+) -> int:
+    """Lower-bound the diameter with repeated double sweeps.
+
+    Each sweep runs BFS from a random node, then BFS again from the farthest
+    node found; the maximum eccentricity observed is returned.  Exact on
+    trees; a tight lower bound on social graphs.
+    """
+    rng = ensure_rng(seed)
+    best = 0
+    for _ in range(max(1, n_sweeps)):
+        start = int(rng.integers(adjacency.n_nodes))
+        dist = bfs_distances(adjacency, start)
+        reachable = dist >= 0
+        far = int(np.argmax(np.where(reachable, dist, -1)))
+        dist2 = bfs_distances(adjacency, far)
+        best = max(best, int(dist2.max()))
+    return best
+
+
+def average_clustering(
+    adjacency: CompressedAdjacency,
+    *,
+    n_samples: int | None = None,
+    seed: RngLike = None,
+) -> float:
+    """Mean local clustering coefficient (sampled when ``n_samples`` given).
+
+    The local coefficient of ``u`` is ``2 T(u) / (deg(u) (deg(u) − 1))`` with
+    ``T(u)`` the number of triangles through ``u``; degree-<2 nodes count 0.
+    """
+    rng = ensure_rng(seed)
+    n = adjacency.n_nodes
+    if n == 0:
+        return 0.0
+    if n_samples is None or n_samples >= n:
+        nodes = np.arange(n)
+    else:
+        nodes = rng.choice(n, size=n_samples, replace=False)
+    neighbor_sets = {}
+    total = 0.0
+    for u in nodes:
+        u = int(u)
+        neigh = adjacency.neighbors(u)
+        degree = neigh.shape[0]
+        if degree < 2:
+            continue
+        if u not in neighbor_sets:
+            neighbor_sets[u] = set(int(x) for x in neigh)
+        triangles = 0
+        for v in neigh:
+            v = int(v)
+            if v not in neighbor_sets:
+                neighbor_sets[v] = set(int(x) for x in adjacency.neighbors(v))
+            triangles += len(neighbor_sets[u] & neighbor_sets[v])
+        total += triangles / (degree * (degree - 1))
+    return total / nodes.shape[0]
+
+
+def degree_statistics(adjacency: CompressedAdjacency) -> dict[str, float]:
+    """Min / max / mean / median degree of the graph."""
+    degrees = adjacency.degrees
+    if degrees.size == 0:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "median": 0.0}
+    return {
+        "min": float(degrees.min()),
+        "max": float(degrees.max()),
+        "mean": float(degrees.mean()),
+        "median": float(np.median(degrees)),
+    }
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Headline statistics of a topology, for reporting and calibration."""
+
+    n_nodes: int
+    n_edges: int
+    mean_degree: float
+    max_degree: int
+    clustering: float
+    diameter_lower_bound: int
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict representation for tabular reporting."""
+        return {
+            "nodes": self.n_nodes,
+            "edges": self.n_edges,
+            "mean_degree": round(self.mean_degree, 2),
+            "max_degree": self.max_degree,
+            "clustering": round(self.clustering, 3),
+            "diameter>=": self.diameter_lower_bound,
+        }
+
+
+def summarize_graph(
+    adjacency: CompressedAdjacency,
+    *,
+    clustering_samples: int | None = 500,
+    seed: RngLike = 0,
+) -> GraphSummary:
+    """Compute a :class:`GraphSummary` (clustering sampled for speed)."""
+    stats = degree_statistics(adjacency)
+    return GraphSummary(
+        n_nodes=adjacency.n_nodes,
+        n_edges=adjacency.n_edges,
+        mean_degree=stats["mean"],
+        max_degree=int(stats["max"]),
+        clustering=average_clustering(
+            adjacency, n_samples=clustering_samples, seed=seed
+        ),
+        diameter_lower_bound=estimate_diameter(adjacency, seed=seed),
+    )

@@ -1,0 +1,48 @@
+"""Graph signal processing substrate (paper §II-C, §IV-B).
+
+Node values (scalars or embedding vectors) are graph signals; graph filters
+aggregate multi-hop propagations of those signals.  The paper's diffusion is
+the Personalized PageRank filter ``H = a (I − (1−a) A)^{-1}`` applied to the
+matrix of personalization vectors.
+"""
+
+from repro.gsp.normalization import (
+    adjacency_matrix,
+    transition_matrix,
+    NormalizationKind,
+)
+from repro.gsp.convolution import propagate, k_hop_aggregate
+from repro.gsp.filters import (
+    DiffusionResult,
+    GraphFilter,
+    HeatKernel,
+    PersonalizedPageRank,
+    PolynomialFilter,
+)
+from repro.gsp.spectral import (
+    SpectralDecomposition,
+    empirical_frequency_response,
+    heat_frequency_response,
+    is_low_pass,
+    ppr_frequency_response,
+    smoothness,
+)
+
+__all__ = [
+    "adjacency_matrix",
+    "transition_matrix",
+    "NormalizationKind",
+    "propagate",
+    "k_hop_aggregate",
+    "DiffusionResult",
+    "GraphFilter",
+    "HeatKernel",
+    "PersonalizedPageRank",
+    "PolynomialFilter",
+    "SpectralDecomposition",
+    "empirical_frequency_response",
+    "heat_frequency_response",
+    "is_low_pass",
+    "ppr_frequency_response",
+    "smoothness",
+]

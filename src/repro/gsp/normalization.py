@@ -1,0 +1,69 @@
+"""Adjacency normalizations: transition matrices for diffusion.
+
+The paper's eq. (5) uses "the transition matrix of the Markov chain, based on
+a suitable normalization of the adjacency matrix".  We provide the three
+standard choices; the default throughout the library is the column-stochastic
+matrix, under which the PPR filter conserves each node's unit of
+personalization mass (column sums of ``H`` equal 1) and matches the
+decentralized push semantics: node ``v`` spreads its personalization evenly
+over its neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Union
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.adjacency import CompressedAdjacency
+
+NormalizationKind = Literal["column", "row", "symmetric"]
+
+GraphLike = Union[nx.Graph, CompressedAdjacency, sp.spmatrix, np.ndarray]
+
+
+def adjacency_matrix(graph: GraphLike) -> sp.csr_matrix:
+    """Coerce any supported graph representation to a CSR adjacency matrix."""
+    if isinstance(graph, CompressedAdjacency):
+        return graph.to_scipy()
+    if isinstance(graph, nx.Graph):
+        return CompressedAdjacency.from_networkx(graph).to_scipy()
+    if sp.issparse(graph):
+        matrix = graph.tocsr().astype(np.float64)
+    else:
+        matrix = sp.csr_matrix(np.asarray(graph, dtype=np.float64))
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"adjacency must be square, got {matrix.shape}")
+    return matrix
+
+
+def transition_matrix(
+    graph: GraphLike,
+    kind: NormalizationKind = "column",
+) -> sp.csr_matrix:
+    """Normalized operator for diffusion.
+
+    * ``column`` — ``A D^{-1}``: column-stochastic; entry ``(u, v)`` is the
+      probability that node ``v`` pushes a unit of mass to neighbor ``u``.
+    * ``row`` — ``D^{-1} A``: row-stochastic; entry ``(u, v)`` is the
+      probability that a walker at ``u`` steps to ``v``.
+    * ``symmetric`` — ``D^{-1/2} A D^{-1/2}``: the GCN-style operator.
+
+    Isolated (degree-0) nodes yield all-zero rows/columns; under PPR their
+    diffused value degenerates to the teleport term, which is the correct
+    decentralized behaviour for a node with no links.
+    """
+    matrix = adjacency_matrix(graph)
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv = np.where(degrees > 0, 1.0 / degrees, 0.0)
+        inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(degrees), 0.0)
+    if kind == "column":
+        return (matrix @ sp.diags(inv)).tocsr()
+    if kind == "row":
+        return (sp.diags(inv) @ matrix).tocsr()
+    if kind == "symmetric":
+        return (sp.diags(inv_sqrt) @ matrix @ sp.diags(inv_sqrt)).tocsr()
+    raise ValueError(f"unknown normalization kind: {kind!r}")

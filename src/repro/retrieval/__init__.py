@@ -1,0 +1,24 @@
+"""Dense retrieval substrate (paper §II-B, §III-A).
+
+Implements the bi-encoder vector space model: per-node document stores with
+exact top-k scoring, the running top-k tracker carried by queries, and two
+approximate nearest-neighbor back-ends (random-hyperplane LSH and HNSW) of
+the kind the paper cites for efficient centralized retrieval.
+"""
+
+from repro.retrieval.vector_store import DocumentStore, StoredDocument
+from repro.retrieval.scoring import rank_documents, top_k_indices
+from repro.retrieval.topk import TopKTracker, ScoredDocument
+from repro.retrieval.lsh import LSHIndex
+from repro.retrieval.hnsw import HNSWIndex
+
+__all__ = [
+    "DocumentStore",
+    "StoredDocument",
+    "rank_documents",
+    "top_k_indices",
+    "TopKTracker",
+    "ScoredDocument",
+    "LSHIndex",
+    "HNSWIndex",
+]

@@ -1,0 +1,219 @@
+"""Hierarchical Navigable Small World (HNSW) index, from scratch.
+
+The second ANN family the paper cites (§III-A): a layered proximity graph
+searched greedily from a sparse top layer down to a dense base layer.  This
+implementation follows Malkov & Yashunin (2018) with the simple neighbor
+selection heuristic, maximizing dot-product similarity over unit vectors.
+"""
+
+from __future__ import annotations
+
+import heapq
+from math import floor, log
+from typing import Hashable
+
+import numpy as np
+
+from repro.embeddings.similarity import l2_normalize
+from repro.utils import check_positive, ensure_rng
+from repro.utils.rng import RngLike
+
+
+class HNSWIndex:
+    """Approximate maximum-inner-product search over unit vectors.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    m:
+        Target out-degree per layer (layer 0 allows ``2 m``).
+    ef_construction:
+        Beam width while inserting; larger values build a higher-recall graph.
+    ef_search:
+        Default beam width at query time (can be overridden per query).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        m: int = 8,
+        ef_construction: int = 64,
+        ef_search: int = 32,
+        seed: RngLike = None,
+    ) -> None:
+        check_positive(dim, "dim")
+        check_positive(m, "m")
+        check_positive(ef_construction, "ef_construction")
+        check_positive(ef_search, "ef_search")
+        self.dim = int(dim)
+        self.m = int(m)
+        self.max_m = int(m)
+        self.max_m0 = int(2 * m)
+        self.ef_construction = int(ef_construction)
+        self.ef_search = int(ef_search)
+        self._level_mult = 1.0 / log(max(2, m))
+        self._rng = ensure_rng(seed)
+        self._ids: list[Hashable] = []
+        self._vectors: list[np.ndarray] = []
+        # _neighbors[node][level] -> list of neighbor internal ids
+        self._neighbors: list[list[list[int]]] = []
+        self._entry: int | None = None
+        self._max_level = -1
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # ------------------------------------------------------------- internals
+
+    def _similarity(self, query: np.ndarray, node: int) -> float:
+        return float(query @ self._vectors[node])
+
+    def _search_layer(
+        self,
+        query: np.ndarray,
+        entry_points: list[int],
+        ef: int,
+        level: int,
+    ) -> list[tuple[float, int]]:
+        """Beam search within one layer; returns (similarity, node) pairs."""
+        visited = set(entry_points)
+        candidates: list[tuple[float, int]] = []
+        results: list[tuple[float, int]] = []
+        for point in entry_points:
+            sim = self._similarity(query, point)
+            heapq.heappush(candidates, (-sim, point))
+            heapq.heappush(results, (sim, point))
+        while candidates:
+            neg_sim, node = heapq.heappop(candidates)
+            if len(results) >= ef and -neg_sim < results[0][0]:
+                break
+            for neighbor in self._neighbors[node][level]:
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                sim = self._similarity(query, neighbor)
+                if len(results) < ef or sim > results[0][0]:
+                    heapq.heappush(candidates, (-sim, neighbor))
+                    heapq.heappush(results, (sim, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return results
+
+    def _select_neighbors(
+        self, results: list[tuple[float, int]], count: int
+    ) -> list[int]:
+        """Simple selection: keep the ``count`` most similar."""
+        return [node for _, node in heapq.nlargest(count, results)]
+
+    def _prune(self, node: int, level: int) -> None:
+        limit = self.max_m0 if level == 0 else self.max_m
+        links = self._neighbors[node][level]
+        if len(links) <= limit:
+            return
+        vector = self._vectors[node]
+        scored = [(float(vector @ self._vectors[other]), other) for other in links]
+        self._neighbors[node][level] = [
+            other for _, other in heapq.nlargest(limit, scored)
+        ]
+
+    # -------------------------------------------------------------- mutation
+
+    def add(self, item_id: Hashable, vector: np.ndarray) -> None:
+        """Insert a vector under ``item_id`` (duplicates ids not checked)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"vector must have shape ({self.dim},), got {vector.shape}")
+        level = floor(-log(max(self._rng.random(), 1e-12)) * self._level_mult)
+        node = len(self._ids)
+        self._ids.append(item_id)
+        self._vectors.append(vector)
+        self._neighbors.append([[] for _ in range(level + 1)])
+
+        if self._entry is None:
+            self._entry = node
+            self._max_level = level
+            return
+
+        entry_points = [self._entry]
+        for current_level in range(self._max_level, level, -1):
+            best = max(
+                self._search_layer(vector, entry_points, 1, current_level),
+                key=lambda pair: pair[0],
+            )
+            entry_points = [best[1]]
+
+        for current_level in range(min(level, self._max_level), -1, -1):
+            results = self._search_layer(
+                vector, entry_points, self.ef_construction, current_level
+            )
+            limit = self.max_m0 if current_level == 0 else self.max_m
+            for neighbor in self._select_neighbors(results, self.m):
+                if neighbor == node:
+                    continue
+                self._neighbors[node][current_level].append(neighbor)
+                self._neighbors[neighbor][current_level].append(node)
+                self._prune(neighbor, current_level)
+            self._neighbors[node][current_level] = self._neighbors[node][
+                current_level
+            ][:limit]
+            entry_points = [point for _, point in results]
+
+        if level > self._max_level:
+            self._entry = node
+            self._max_level = level
+
+    # --------------------------------------------------------------- queries
+
+    def query(
+        self, query: np.ndarray, k: int, *, ef: int | None = None
+    ) -> list[tuple[Hashable, float]]:
+        """Approximate top-k ``(item_id, score)`` pairs, best first."""
+        if self._entry is None:
+            return []
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise ValueError(f"query must have shape ({self.dim},), got {query.shape}")
+        ef = max(int(ef or self.ef_search), k)
+        entry_points = [self._entry]
+        for current_level in range(self._max_level, 0, -1):
+            best = max(
+                self._search_layer(query, entry_points, 1, current_level),
+                key=lambda pair: pair[0],
+            )
+            entry_points = [best[1]]
+        results = self._search_layer(query, entry_points, ef, 0)
+        top = heapq.nlargest(k, results)
+        return [(self._ids[node], float(sim)) for sim, node in top]
+
+    @classmethod
+    def build(
+        cls,
+        ids: list[Hashable],
+        vectors: np.ndarray,
+        *,
+        m: int = 8,
+        ef_construction: int = 64,
+        ef_search: int = 32,
+        normalize: bool = True,
+        seed: RngLike = None,
+    ) -> "HNSWIndex":
+        """Construct and populate an index from parallel id/vector arrays."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
+        if len(ids) != vectors.shape[0]:
+            raise ValueError(f"{len(ids)} ids for {vectors.shape[0]} vectors")
+        if normalize:
+            vectors = l2_normalize(vectors)
+        index = cls(
+            vectors.shape[1],
+            m=m,
+            ef_construction=ef_construction,
+            ef_search=ef_search,
+            seed=seed,
+        )
+        for item_id, vector in zip(ids, vectors):
+            index.add(item_id, vector)
+        return index

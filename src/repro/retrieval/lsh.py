@@ -1,0 +1,143 @@
+"""Random-hyperplane LSH for approximate maximum-inner-product search.
+
+One of the two ANN families the paper cites for making bi-encoder retrieval
+cheap (§II-B / §III-A).  Each table hashes a vector to the sign pattern of
+``n_planes`` random projections; cosine-similar vectors collide with high
+probability (collision probability per plane is ``1 − θ/π``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.embeddings.similarity import dot_scores, l2_normalize
+from repro.retrieval.scoring import top_k_indices
+from repro.utils import check_positive, ensure_rng
+from repro.utils.rng import RngLike
+
+
+class LSHIndex:
+    """Multi-table random-hyperplane index over unit vectors.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    n_planes:
+        Hyperplanes per table (bucket granularity; more planes ⇒ smaller,
+        purer buckets).
+    n_tables:
+        Independent tables (more tables ⇒ higher recall, more memory).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        n_planes: int = 12,
+        n_tables: int = 8,
+        seed: RngLike = None,
+    ) -> None:
+        check_positive(dim, "dim")
+        check_positive(n_planes, "n_planes")
+        check_positive(n_tables, "n_tables")
+        if n_planes > 62:
+            raise ValueError("n_planes must be <= 62 to pack hashes into int64")
+        rng = ensure_rng(seed)
+        self.dim = int(dim)
+        self.n_planes = int(n_planes)
+        self.n_tables = int(n_tables)
+        self._planes = rng.standard_normal((n_tables, n_planes, dim))
+        self._powers = (2 ** np.arange(n_planes)).astype(np.int64)
+        self._tables: list[dict[int, list[int]]] = [dict() for _ in range(n_tables)]
+        self._ids: list[Hashable] = []
+        self._vectors: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def _hashes(self, vector: np.ndarray) -> np.ndarray:
+        """Bucket key of ``vector`` in each table."""
+        projections = self._planes @ vector  # (n_tables, n_planes)
+        bits = (projections > 0).astype(np.int64)
+        return bits @ self._powers
+
+    def add(self, item_id: Hashable, vector: np.ndarray) -> None:
+        """Index a vector under ``item_id``."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"vector must have shape ({self.dim},), got {vector.shape}")
+        internal = len(self._ids)
+        self._ids.append(item_id)
+        self._vectors.append(vector)
+        for table, key in zip(self._tables, self._hashes(vector)):
+            table.setdefault(int(key), []).append(internal)
+
+    def candidates(self, query: np.ndarray) -> np.ndarray:
+        """Internal indices colliding with ``query`` in any table."""
+        query = np.asarray(query, dtype=np.float64)
+        found: set[int] = set()
+        for table, key in zip(self._tables, self._hashes(query)):
+            found.update(table.get(int(key), ()))
+        return np.fromiter(sorted(found), dtype=np.int64, count=len(found))
+
+    def query(
+        self, query: np.ndarray, k: int, *, rerank: bool = True
+    ) -> list[tuple[Hashable, float]]:
+        """Approximate top-k by exact reranking of the collision candidates."""
+        if not self._ids:
+            return []
+        candidate_idx = self.candidates(query)
+        if candidate_idx.size == 0:
+            return []
+        matrix = np.vstack([self._vectors[i] for i in candidate_idx])
+        scores = dot_scores(np.asarray(query, dtype=np.float64), matrix)
+        keep = top_k_indices(scores, k) if rerank else np.arange(min(k, scores.size))
+        return [
+            (self._ids[int(candidate_idx[i])], float(scores[i])) for i in keep
+        ]
+
+    def recall_against_exact(self, queries: np.ndarray, k: int) -> float:
+        """Fraction of exact top-k results the index retrieves (diagnostics)."""
+        if not self._ids:
+            raise ValueError("index is empty")
+        matrix = np.vstack(self._vectors)
+        hits = 0
+        total = 0
+        for query in np.atleast_2d(np.asarray(queries, dtype=np.float64)):
+            exact = {
+                self._ids[int(i)]
+                for i in top_k_indices(dot_scores(query, matrix), k)
+            }
+            approx = {item_id for item_id, _ in self.query(query, k)}
+            hits += len(exact & approx)
+            total += len(exact)
+        return hits / total if total else 1.0
+
+    @classmethod
+    def build(
+        cls,
+        ids: list[Hashable],
+        vectors: np.ndarray,
+        *,
+        n_planes: int = 12,
+        n_tables: int = 8,
+        normalize: bool = True,
+        seed: RngLike = None,
+    ) -> "LSHIndex":
+        """Construct and populate an index from parallel id/vector arrays."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
+        if len(ids) != vectors.shape[0]:
+            raise ValueError(f"{len(ids)} ids for {vectors.shape[0]} vectors")
+        if normalize:
+            vectors = l2_normalize(vectors)
+        index = cls(
+            vectors.shape[1], n_planes=n_planes, n_tables=n_tables, seed=seed
+        )
+        for item_id, vector in zip(ids, vectors):
+            index.add(item_id, vector)
+        return index

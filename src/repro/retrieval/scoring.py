@@ -1,0 +1,34 @@
+"""Bi-encoder scoring helpers (the ``arg top-k`` of paper eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.similarity import dot_scores
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, sorted by descending score.
+
+    Ties are broken by ascending index, making results deterministic across
+    runs and platforms (argsort alone is not stable under ``-scores``).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
+    k = min(int(k), scores.shape[0])
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    # lexsort: last key is primary; sort by (-score, index).
+    order = np.lexsort((np.arange(scores.shape[0]), -scores))
+    return order[:k].astype(np.int64)
+
+
+def rank_documents(
+    query: np.ndarray,
+    documents: np.ndarray,
+    k: int,
+) -> list[tuple[int, float]]:
+    """Exact top-k retrieval: ``(row_index, score)`` pairs, best first."""
+    scores = dot_scores(query, documents)
+    return [(int(i), float(scores[i])) for i in top_k_indices(scores, k)]

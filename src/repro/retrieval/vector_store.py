@@ -1,0 +1,136 @@
+"""Per-node document store: the local collection ``D_u`` of paper §III-B."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.embeddings.similarity import dot_scores
+from repro.retrieval.scoring import top_k_indices
+
+
+@dataclass(frozen=True)
+class StoredDocument:
+    """A document held by a node: opaque id plus its embedding."""
+
+    doc_id: Hashable
+    embedding: np.ndarray
+
+    def __post_init__(self) -> None:
+        embedding = np.asarray(self.embedding, dtype=np.float64)
+        if embedding.ndim != 1:
+            raise ValueError(
+                f"embedding must be 1-D, got shape {embedding.shape}"
+            )
+        object.__setattr__(self, "embedding", embedding)
+
+
+class DocumentStore:
+    """A node's local document collection with exact top-k scoring.
+
+    Embeddings are kept in a contiguous matrix so a query is scored against
+    every local document with a single matrix-vector product (the exact
+    retrieval of eq. 1, cheap at per-node collection sizes).
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = int(dim)
+        self._doc_ids: list[Hashable] = []
+        self._positions: dict[Hashable, int] = {}
+        self._matrix = np.empty((0, dim), dtype=np.float64)
+
+    # ------------------------------------------------------------- mutation
+
+    def add(self, doc_id: Hashable, embedding: np.ndarray) -> None:
+        """Add a document; re-adding an existing id replaces its embedding."""
+        embedding = np.asarray(embedding, dtype=np.float64)
+        if embedding.shape != (self.dim,):
+            raise ValueError(
+                f"embedding must have shape ({self.dim},), got {embedding.shape}"
+            )
+        if doc_id in self._positions:
+            self._matrix[self._positions[doc_id]] = embedding
+            return
+        self._positions[doc_id] = len(self._doc_ids)
+        self._doc_ids.append(doc_id)
+        self._matrix = np.vstack([self._matrix, embedding[None, :]])
+
+    def add_many(self, documents: Iterable[StoredDocument]) -> None:
+        """Add several documents (single reallocation for the common path)."""
+        new_docs = [d for d in documents]
+        fresh = [d for d in new_docs if d.doc_id not in self._positions]
+        replace = [d for d in new_docs if d.doc_id in self._positions]
+        for doc in replace:
+            self._matrix[self._positions[doc.doc_id]] = doc.embedding
+        if fresh:
+            for doc in fresh:
+                if doc.embedding.shape != (self.dim,):
+                    raise ValueError(
+                        f"embedding must have shape ({self.dim},), "
+                        f"got {doc.embedding.shape}"
+                    )
+                self._positions[doc.doc_id] = len(self._doc_ids)
+                self._doc_ids.append(doc.doc_id)
+            block = np.vstack([doc.embedding[None, :] for doc in fresh])
+            self._matrix = np.vstack([self._matrix, block])
+
+    def remove(self, doc_id: Hashable) -> None:
+        """Remove a document (swap-with-last, O(1) row moves)."""
+        pos = self._positions.pop(doc_id)
+        last = len(self._doc_ids) - 1
+        if pos != last:
+            moved_id = self._doc_ids[last]
+            self._doc_ids[pos] = moved_id
+            self._matrix[pos] = self._matrix[last]
+            self._positions[moved_id] = pos
+        self._doc_ids.pop()
+        self._matrix = self._matrix[:last]
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._doc_ids)
+
+    def __contains__(self, doc_id: Hashable) -> bool:
+        return doc_id in self._positions
+
+    @property
+    def doc_ids(self) -> list[Hashable]:
+        """All stored document ids (insertion order, modulo removals)."""
+        return list(self._doc_ids)
+
+    def embedding_of(self, doc_id: Hashable) -> np.ndarray:
+        """Embedding of a stored document (copy)."""
+        return self._matrix[self._positions[doc_id]].copy()
+
+    def score(self, query: np.ndarray) -> np.ndarray:
+        """Dot-product score of ``query`` against every stored document."""
+        if len(self._doc_ids) == 0:
+            return np.empty(0, dtype=np.float64)
+        return dot_scores(query, self._matrix)
+
+    def top_k(self, query: np.ndarray, k: int) -> list[tuple[Hashable, float]]:
+        """Best ``k`` local documents as ``(doc_id, score)``, best first."""
+        scores = self.score(query)
+        return [
+            (self._doc_ids[i], float(scores[i])) for i in top_k_indices(scores, k)
+        ]
+
+    def sum_of_embeddings(self) -> np.ndarray:
+        """Sum of all stored document embeddings.
+
+        This is the node personalization vector of paper §IV-A (eq. 3) in its
+        raw "sum" form; weighting variants live in
+        :mod:`repro.core.personalization`.
+        """
+        if len(self._doc_ids) == 0:
+            return np.zeros(self.dim, dtype=np.float64)
+        return self._matrix.sum(axis=0)
+
+    def matrix(self) -> np.ndarray:
+        """The ``(n_docs, dim)`` embedding matrix (copy)."""
+        return self._matrix.copy()

@@ -1,0 +1,35 @@
+"""Decentralized asynchronous runtime: a discrete-event P2P simulator.
+
+The paper's diffusion is "iterative and asynchronous": node pairs exchange
+embeddings at arbitrary (but not arbitrarily long) intervals and the estimates
+converge to the closed-form PPR diffusion.  This package provides the
+machinery to execute that protocol faithfully — an event queue, a simulated
+network with per-link latencies and message accounting, node actors, and the
+asynchronous diffusion overlay — plus churn operations (join/leave/update).
+"""
+
+from repro.runtime.events import EventQueue, ScheduledEvent
+from repro.runtime.network import LatencyModel, SimNetwork, TrafficStats
+from repro.runtime.node import SimNode
+from repro.runtime.gossip import (
+    AsyncDiffusionNode,
+    AsyncPPRDiffusion,
+    DegreeAnnounce,
+    EmbeddingPush,
+)
+from repro.runtime.convergence import fixed_point_residual, diffusion_error
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "LatencyModel",
+    "SimNetwork",
+    "TrafficStats",
+    "SimNode",
+    "AsyncDiffusionNode",
+    "AsyncPPRDiffusion",
+    "DegreeAnnounce",
+    "EmbeddingPush",
+    "fixed_point_residual",
+    "diffusion_error",
+]

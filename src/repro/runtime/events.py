@@ -1,0 +1,112 @@
+"""Discrete-event queue with deterministic ordering.
+
+Events at equal timestamps dispatch in insertion order (a monotonically
+increasing sequence number breaks ties), so simulations are exactly
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An action scheduled at a simulation time.
+
+    Cancelled events stay in the heap but are skipped on pop (lazy deletion),
+    which keeps cancellation O(1).
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`ScheduledEvent` ordered by (time, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._now = 0.0
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last dispatched event)."""
+        return self._now
+
+    @property
+    def dispatched(self) -> int:
+        """Number of events executed so far."""
+        return self._dispatched
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        event = ScheduledEvent(self._now + float(delay), self._seq, action)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: time {time} < now {self._now}"
+            )
+        event = ScheduledEvent(float(time), self._seq, action)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Dispatch the next event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._dispatched += 1
+            event.action()
+            return True
+        return False
+
+    def run(
+        self,
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> int:
+        """Dispatch events until exhaustion, ``until`` time, or event budget.
+
+        Returns the number of events dispatched by this call.
+        """
+        dispatched = 0
+        while self._heap:
+            if max_events is not None and dispatched >= max_events:
+                break
+            # Peek for the time limit without popping cancelled entries eagerly.
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                break
+            if not self.step():
+                break
+            dispatched += 1
+        return dispatched

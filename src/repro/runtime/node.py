@@ -1,0 +1,63 @@
+"""Base class for node actors living inside a :class:`SimNetwork`."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.network import SimNetwork
+
+
+class SimNode:
+    """A P2P node actor: receives messages and timer callbacks.
+
+    Subclasses override the ``on_*`` hooks.  Nodes communicate exclusively by
+    :meth:`send`-ing messages to direct neighbors — there is no shared state,
+    which keeps implementations honest about what a decentralized protocol
+    can know.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = int(node_id)
+        self.network: "SimNetwork | None" = None
+
+    # ------------------------------------------------------------- plumbing
+
+    def attach(self, network: "SimNetwork") -> None:
+        """Called by the network when the node joins it."""
+        self.network = network
+
+    def send(self, dst: int, message: Any) -> None:
+        """Send ``message`` to neighbor ``dst`` (delivered after link latency)."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a network")
+        self.network.send(self.node_id, dst, message)
+
+    def set_timer(self, delay: float, tag: Any = None):
+        """Schedule :meth:`on_timer` after ``delay``; returns the event handle."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a network")
+        return self.network.schedule_timer(self.node_id, delay, tag)
+
+    def neighbors(self) -> list[int]:
+        """Current neighbor ids (reads the network's live topology)."""
+        if self.network is None:
+            return []
+        return self.network.neighbors_of(self.node_id)
+
+    # ------------------------------------------------------------ overrides
+
+    def on_start(self) -> None:
+        """Hook invoked once when the simulation starts (or node joins)."""
+
+    def on_message(self, src: int, message: Any) -> None:
+        """Hook invoked on message delivery."""
+
+    def on_timer(self, tag: Any) -> None:
+        """Hook invoked when a timer set by :meth:`set_timer` fires."""
+
+    def on_neighbor_added(self, neighbor: int) -> None:
+        """Hook invoked when an incident edge appears (churn)."""
+
+    def on_neighbor_removed(self, neighbor: int) -> None:
+        """Hook invoked when an incident edge disappears (churn)."""

@@ -1,0 +1,40 @@
+"""Experiment harness: the simulation of paper Fig. 2.
+
+Generate documents and queries from the embedding space, distribute documents
+over the graph, diffuse node embeddings, then forward queries and measure hit
+accuracy (Fig. 3) and hop counts (Table I).
+"""
+
+from repro.simulation.scenario import AccuracyScenario, HopCountScenario
+from repro.simulation.workload import RetrievalWorkload, build_workload
+from repro.simulation.placement import (
+    build_stores,
+    community_correlated_placement,
+    uniform_placement,
+)
+from repro.simulation.metrics import AccuracyGrid, HopStatistics, summarize_hops
+from repro.simulation.runner import (
+    IterationSampler,
+    run_accuracy_experiment,
+    run_hop_count_experiment,
+)
+from repro.simulation.reporting import format_table, format_accuracy_grid, write_csv
+
+__all__ = [
+    "AccuracyScenario",
+    "HopCountScenario",
+    "RetrievalWorkload",
+    "build_workload",
+    "uniform_placement",
+    "community_correlated_placement",
+    "build_stores",
+    "AccuracyGrid",
+    "HopStatistics",
+    "summarize_hops",
+    "IterationSampler",
+    "run_accuracy_experiment",
+    "run_hop_count_experiment",
+    "format_table",
+    "format_accuracy_grid",
+    "write_csv",
+]

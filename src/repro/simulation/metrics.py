@@ -1,0 +1,117 @@
+"""Metric aggregation for the accuracy and hop-count experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class AccuracyGrid:
+    """Hit accuracy indexed by (teleport alpha, query–gold distance).
+
+    Mirrors one Fig. 3 panel: one curve per alpha over distances 0..max.
+    """
+
+    alphas: tuple[float, ...]
+    max_distance: int
+    successes: dict[tuple[float, int], int] = field(default_factory=dict)
+    samples: dict[tuple[float, int], int] = field(default_factory=dict)
+
+    def record(self, alpha: float, distance: int, success: bool) -> None:
+        key = (float(alpha), int(distance))
+        self.samples[key] = self.samples.get(key, 0) + 1
+        if success:
+            self.successes[key] = self.successes.get(key, 0) + 1
+
+    def accuracy(self, alpha: float, distance: int) -> float:
+        """Hit rate for one cell; NaN when the cell has no samples."""
+        key = (float(alpha), int(distance))
+        n = self.samples.get(key, 0)
+        if n == 0:
+            return float("nan")
+        return self.successes.get(key, 0) / n
+
+    def sample_count(self, alpha: float, distance: int) -> int:
+        return self.samples.get((float(alpha), int(distance)), 0)
+
+    def series(self, alpha: float) -> list[float]:
+        """The accuracy curve for one alpha over distances 0..max_distance."""
+        return [self.accuracy(alpha, d) for d in range(self.max_distance + 1)]
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Flat rows (one per alpha/distance cell) for CSV export."""
+        rows = []
+        for alpha in self.alphas:
+            for distance in range(self.max_distance + 1):
+                rows.append(
+                    {
+                        "alpha": alpha,
+                        "distance": distance,
+                        "accuracy": self.accuracy(alpha, distance),
+                        "samples": self.sample_count(alpha, distance),
+                    }
+                )
+        return rows
+
+    def merge(self, other: "AccuracyGrid") -> None:
+        """Fold another grid's counts into this one (parallel sharding)."""
+        if other.alphas != self.alphas or other.max_distance != self.max_distance:
+            raise ValueError("grids have different shapes")
+        for key, count in other.samples.items():
+            self.samples[key] = self.samples.get(key, 0) + count
+        for key, count in other.successes.items():
+            self.successes[key] = self.successes.get(key, 0) + count
+
+
+@dataclass(frozen=True)
+class HopStatistics:
+    """One Table I row: success rate and hop distribution of successes."""
+
+    n_documents: int
+    successes: int
+    samples: int
+    median_hops: float
+    mean_hops: float
+    std_hops: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.samples if self.samples else float("nan")
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "M documents": self.n_documents,
+            "success rate": f"{self.successes} / {self.samples}",
+            "median hops": self.median_hops,
+            "mean hops": round(self.mean_hops, 2),
+            "std hops": round(self.std_hops, 2),
+        }
+
+
+def summarize_hops(
+    n_documents: int, hops_of_successes: list[int], total_samples: int
+) -> HopStatistics:
+    """Aggregate per-query hop counts into a :class:`HopStatistics` row.
+
+    ``hops_of_successes`` holds, for each successful query, the hop index at
+    which the gold document's node was reached (paper §V-D).
+    """
+    if len(hops_of_successes) > total_samples:
+        raise ValueError("more successes than samples")
+    if hops_of_successes:
+        array = np.asarray(hops_of_successes, dtype=np.float64)
+        median = float(np.median(array))
+        mean = float(array.mean())
+        std = float(array.std(ddof=0))
+    else:
+        median = mean = std = float("nan")
+    return HopStatistics(
+        n_documents=n_documents,
+        successes=len(hops_of_successes),
+        samples=total_samples,
+        median_hops=median,
+        mean_hops=mean,
+        std_hops=std,
+    )

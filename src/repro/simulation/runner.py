@@ -1,0 +1,297 @@
+"""Experiment drivers implementing the simulation of paper Fig. 2.
+
+Performance note: the drivers exploit the linearity of the diffusion.  The
+walk only compares ``e_q · e_v`` across candidate hops, and ``E = H E0``, so
+diffusing the *scalar* per-node signal ``x0 = E0 e_q`` yields exactly those
+scores (``s = H x0 = E e_q``) at 1/dim of the cost of diffusing the full
+embedding matrix.  ``tests/integration`` verifies the equivalence against the
+full-matrix pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.engine import WalkConfig, run_query
+from repro.core.forwarding import ForwardingPolicy, PrecomputedScorePolicy
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.graphs.communities import label_propagation_communities
+from repro.graphs.metrics import bfs_distances
+from repro.gsp.filters import PersonalizedPageRank
+from repro.gsp.normalization import transition_matrix
+from repro.retrieval.vector_store import DocumentStore
+from repro.simulation.metrics import AccuracyGrid, HopStatistics, summarize_hops
+from repro.simulation.placement import (
+    build_stores,
+    community_correlated_placement,
+    uniform_placement,
+)
+from repro.simulation.scenario import AccuracyScenario, HopCountScenario
+from repro.simulation.workload import RetrievalWorkload
+from repro.utils.rng import spawn_rngs
+
+PolicyFactory = Callable[[np.ndarray, CompressedAdjacency], ForwardingPolicy]
+
+
+def _default_policy_factory(
+    scores: np.ndarray, adjacency: CompressedAdjacency
+) -> ForwardingPolicy:
+    return PrecomputedScorePolicy(scores)
+
+
+@dataclass
+class IterationData:
+    """One simulation iteration: a placed document set plus its query."""
+
+    query_word: str
+    gold_word: str
+    query_embedding: np.ndarray
+    gold_node: int
+    stores: dict[int, DocumentStore]
+    relevance_signal: np.ndarray  # x0[u] = e0_u · e_q before diffusion
+
+
+class IterationSampler:
+    """Draws simulation iterations: query, gold + irrelevant docs, placement.
+
+    Reused across iterations so the normalized transition matrix (and any
+    community structure for correlated placement) is computed once per graph.
+    """
+
+    def __init__(
+        self,
+        adjacency: CompressedAdjacency,
+        workload: RetrievalWorkload,
+        *,
+        weighting: str = "sum",
+        placement: str = "uniform",
+        communities: np.ndarray | None = None,
+        correlation_mixing: float = 0.0,
+        community_seed: int = 0,
+    ) -> None:
+        if weighting not in ("sum", "mean", "sqrt", "l2"):
+            raise ValueError(f"unknown weighting {weighting!r}")
+        if placement not in ("uniform", "correlated"):
+            raise ValueError(f"unknown placement {placement!r}")
+        self.adjacency = adjacency
+        self.workload = workload
+        self.model = workload.model
+        self.dim = self.model.dim
+        self.weighting = weighting
+        self.placement = placement
+        self.correlation_mixing = float(correlation_mixing)
+        self.operator = transition_matrix(adjacency, "column")
+        self._filters: dict[float, PersonalizedPageRank] = {}
+        if placement == "correlated":
+            if communities is None:
+                communities = label_propagation_communities(
+                    adjacency, seed=community_seed
+                )
+            self.communities = np.asarray(communities, dtype=np.int64)
+            cluster_of = self.model.metadata.get("cluster_of")
+            if cluster_of is None:
+                raise ValueError(
+                    "correlated placement needs the embedding model's "
+                    "'cluster_of' metadata (synthetic models provide it)"
+                )
+            self._cluster_of = np.asarray(cluster_of, dtype=np.int64)
+            self._word_index = {w: i for i, w in enumerate(self.model.words)}
+        else:
+            self.communities = None
+
+    # ----------------------------------------------------------------- sample
+
+    def sample(self, n_documents: int, rng: np.random.Generator) -> IterationData:
+        """Draw one iteration: 1 gold + (M−1) irrelevant docs, placed."""
+        query_word, gold_word = self.workload.sample_case(rng)
+        irrelevant = self.workload.sample_irrelevant(rng, n_documents - 1)
+        doc_words = [gold_word] + irrelevant
+        doc_embeddings = self.model.vectors_for(doc_words)
+
+        if self.placement == "uniform":
+            nodes = uniform_placement(
+                len(doc_words), self.adjacency.n_nodes, seed=rng
+            )
+        else:
+            clusters = np.asarray(
+                [self._cluster_of[self._word_index[w]] for w in doc_words]
+            )
+            nodes = community_correlated_placement(
+                clusters,
+                self.communities,
+                mixing=self.correlation_mixing,
+                seed=rng,
+            )
+
+        stores = build_stores(doc_words, doc_embeddings, nodes, self.dim)
+        query_embedding = self.model.vector(query_word)
+        signal = self._relevance_signal(doc_embeddings, nodes, query_embedding)
+        return IterationData(
+            query_word=query_word,
+            gold_word=gold_word,
+            query_embedding=query_embedding,
+            gold_node=int(nodes[0]),
+            stores=stores,
+            relevance_signal=signal,
+        )
+
+    def _relevance_signal(
+        self,
+        doc_embeddings: np.ndarray,
+        nodes: np.ndarray,
+        query_embedding: np.ndarray,
+    ) -> np.ndarray:
+        """Per-node ``e0_u · e_q`` under the configured weighting."""
+        n = self.adjacency.n_nodes
+        counts = np.bincount(nodes, minlength=n).astype(np.float64)
+        occupied = counts > 0
+        if self.weighting == "l2":
+            # The normalized sum needs the actual per-node vector norms.
+            sums = np.zeros((n, self.dim), dtype=np.float64)
+            np.add.at(sums, nodes, doc_embeddings)
+            norms = np.linalg.norm(sums, axis=1)
+            scores = sums @ query_embedding
+            with np.errstate(invalid="ignore", divide="ignore"):
+                scores = np.where(norms > 0, scores / norms, 0.0)
+            return scores
+        doc_scores = doc_embeddings @ query_embedding
+        signal = np.bincount(nodes, weights=doc_scores, minlength=n)
+        if self.weighting == "mean":
+            signal[occupied] /= counts[occupied]
+        elif self.weighting == "sqrt":
+            signal[occupied] /= np.sqrt(counts[occupied])
+        return signal
+
+    # ---------------------------------------------------------------- diffuse
+
+    def diffuse_scores(
+        self, signal: np.ndarray, alpha: float, *, tol: float = 1e-10
+    ) -> np.ndarray:
+        """PPR-diffuse the scalar relevance signal (eq. 6, one column)."""
+        ppr = self._filters.get(alpha)
+        if ppr is None:
+            ppr = self._filters[alpha] = PersonalizedPageRank(alpha, tol=tol)
+        return ppr.apply(self.operator, signal)
+
+
+def sample_start_nodes(
+    distances: np.ndarray,
+    max_distance: int,
+    rng: np.random.Generator,
+) -> dict[int, int]:
+    """One querying node per radius 0..max_distance (paper §V-C).
+
+    Radii with no node at that exact distance are omitted (e.g. beyond the
+    graph's eccentricity from the gold node).
+    """
+    starts: dict[int, int] = {}
+    for radius in range(max_distance + 1):
+        candidates = np.flatnonzero(distances == radius)
+        if candidates.size:
+            starts[radius] = int(candidates[int(rng.integers(candidates.size))])
+    return starts
+
+
+def run_accuracy_experiment(
+    adjacency: CompressedAdjacency,
+    workload: RetrievalWorkload,
+    scenario: AccuracyScenario,
+    *,
+    communities: np.ndarray | None = None,
+    policy_factory: PolicyFactory = _default_policy_factory,
+) -> AccuracyGrid:
+    """Reproduce one Fig. 3 panel.
+
+    Per iteration: place 1 gold + (M−1) irrelevant documents, compute the
+    diffused relevance scores for each alpha, sample one querying node per
+    radius from the gold node, and run a TTL-bounded walk per (alpha,
+    radius).  A query succeeds when the gold document is its final top-1.
+    """
+    sampler = IterationSampler(
+        adjacency,
+        workload,
+        weighting=scenario.weighting,
+        placement=scenario.placement,
+        communities=communities,
+        correlation_mixing=scenario.correlation_mixing,
+    )
+    grid = AccuracyGrid(tuple(scenario.alphas), scenario.max_distance)
+    config = WalkConfig(ttl=scenario.ttl, fanout=scenario.fanout, k=scenario.k)
+    rngs = spawn_rngs(scenario.seed, scenario.iterations)
+
+    for rng in rngs:
+        data = sampler.sample(scenario.n_documents, rng)
+        distances = bfs_distances(adjacency, data.gold_node)
+        starts = sample_start_nodes(distances, scenario.max_distance, rng)
+        for alpha in scenario.alphas:
+            scores = sampler.diffuse_scores(data.relevance_signal, alpha)
+            policy = policy_factory(scores, adjacency)
+            for radius, start in starts.items():
+                result = run_query(
+                    adjacency,
+                    data.stores,
+                    policy,
+                    data.query_embedding,
+                    start,
+                    config,
+                    query_id=data.query_word,
+                    seed=rng,
+                )
+                grid.record(alpha, radius, result.found(data.gold_word, top=1))
+    return grid
+
+
+def run_hop_count_experiment(
+    adjacency: CompressedAdjacency,
+    workload: RetrievalWorkload,
+    scenario: HopCountScenario,
+    *,
+    communities: np.ndarray | None = None,
+    policy_factory: PolicyFactory = _default_policy_factory,
+) -> HopStatistics:
+    """Reproduce one Table I row.
+
+    Per iteration: place 1 gold + (M−1) irrelevant documents, then launch
+    ``queries_per_iteration`` queries from uniformly sampled nodes; record
+    the hop at which successful queries reached the gold document.
+    """
+    sampler = IterationSampler(
+        adjacency,
+        workload,
+        weighting=scenario.weighting,
+        placement=scenario.placement,
+        communities=communities,
+        correlation_mixing=scenario.correlation_mixing,
+    )
+    config = WalkConfig(ttl=scenario.ttl, fanout=scenario.fanout, k=scenario.k)
+    rngs = spawn_rngs(scenario.seed, scenario.iterations)
+
+    hops_of_successes: list[int] = []
+    total = 0
+    for rng in rngs:
+        data = sampler.sample(scenario.n_documents, rng)
+        scores = sampler.diffuse_scores(data.relevance_signal, scenario.alpha)
+        policy = policy_factory(scores, adjacency)
+        starts = rng.integers(
+            0, adjacency.n_nodes, size=scenario.queries_per_iteration
+        )
+        for start in starts:
+            result = run_query(
+                adjacency,
+                data.stores,
+                policy,
+                data.query_embedding,
+                int(start),
+                config,
+                query_id=data.query_word,
+                seed=rng,
+            )
+            total += 1
+            if result.found(data.gold_word, top=1):
+                hops = result.hops_to(data.gold_word)
+                assert hops is not None
+                hops_of_successes.append(hops)
+    return summarize_hops(scenario.n_documents, hops_of_successes, total)

@@ -1,0 +1,140 @@
+"""Query/document workload construction (paper §V-B).
+
+"We generate queries and documents from the Glove dataset using 1000 random
+words as queries and their nearest neighbors as gold documents, provided that
+their cosine similarity is over 0.6 and the two sets do not overlap.  The
+remaining words are treated as a pool of irrelevant documents."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.embeddings.model import WordEmbeddingModel
+from repro.utils import check_positive, check_probability, ensure_rng
+from repro.utils.rng import RngLike
+
+
+@dataclass
+class RetrievalWorkload:
+    """Queries with their gold documents plus the irrelevant-document pool."""
+
+    model: WordEmbeddingModel
+    queries: list[str]
+    gold_of: dict[str, list[str]]
+    irrelevant_pool: list[str]
+    threshold: float
+
+    def __post_init__(self) -> None:
+        query_set = set(self.queries)
+        gold_set = {g for golds in self.gold_of.values() for g in golds}
+        if query_set & gold_set:
+            raise ValueError("query and gold sets overlap")
+        pool_set = set(self.irrelevant_pool)
+        if pool_set & query_set or pool_set & gold_set:
+            raise ValueError("irrelevant pool overlaps queries or golds")
+
+    # ---------------------------------------------------------------- access
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    def query_embedding(self, query: str) -> np.ndarray:
+        return self.model.vector(query)
+
+    def sample_case(self, rng: np.random.Generator) -> tuple[str, str]:
+        """Draw a (query word, one of its gold documents) pair."""
+        query = self.queries[int(rng.integers(len(self.queries)))]
+        golds = self.gold_of[query]
+        gold = golds[int(rng.integers(len(golds)))]
+        return query, gold
+
+    def sample_irrelevant(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        *,
+        exclude: set[str] | None = None,
+    ) -> list[str]:
+        """Draw ``count`` distinct irrelevant documents from the pool."""
+        pool = self.irrelevant_pool
+        if exclude:
+            pool = [w for w in pool if w not in exclude]
+        if count > len(pool):
+            raise ValueError(
+                f"requested {count} irrelevant documents but the pool has "
+                f"{len(pool)}; enlarge the vocabulary"
+            )
+        idx = rng.choice(len(pool), size=count, replace=False)
+        return [pool[int(i)] for i in idx]
+
+
+def build_workload(
+    model: WordEmbeddingModel,
+    *,
+    n_queries: int = 1000,
+    threshold: float = 0.6,
+    seed: RngLike = None,
+    max_candidates: int | None = None,
+) -> RetrievalWorkload:
+    """Construct the paper's workload from an embedding model.
+
+    Random words are accepted as queries when they have at least one neighbor
+    above the cosine ``threshold`` that is not itself a query; those neighbors
+    become the query's gold documents.  Queries and golds are kept disjoint
+    ("the two sets do not overlap"); every remaining word lands in the
+    irrelevant pool.
+    """
+    check_positive(n_queries, "n_queries")
+    check_probability(threshold, "threshold", inclusive=False)
+    rng = ensure_rng(seed)
+
+    n_words = len(model)
+    order = rng.permutation(n_words)
+    if max_candidates is not None:
+        order = order[:max_candidates]
+
+    queries: list[str] = []
+    gold_of: dict[str, list[str]] = {}
+    query_set: set[str] = set()
+    gold_set: set[str] = set()
+
+    for idx in order:
+        if len(queries) >= n_queries:
+            break
+        word = model.word_at(int(idx))
+        if word in gold_set or word in query_set:
+            continue
+        neighbors = [
+            neighbor
+            for neighbor, _ in model.neighbors_above(word, threshold)
+            if neighbor not in query_set
+        ]
+        if not neighbors:
+            continue
+        queries.append(word)
+        query_set.add(word)
+        gold_of[word] = neighbors
+        gold_set.update(neighbors)
+
+    if not queries:
+        raise ValueError(
+            "no query words have neighbors above the threshold; lower the "
+            "threshold or raise the embedding model's intra-cluster cosine"
+        )
+
+    irrelevant_pool = [
+        word
+        for word in model.words
+        if word not in query_set and word not in gold_set
+    ]
+    return RetrievalWorkload(
+        model=model,
+        queries=queries,
+        gold_of=gold_of,
+        irrelevant_pool=irrelevant_pool,
+        threshold=threshold,
+    )

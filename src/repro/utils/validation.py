@@ -1,0 +1,47 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_probability(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1) if not inclusive)."""
+    value = float(value)
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_matrix_2d(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``array`` is a 2-D numpy array and return it as float64."""
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {array.shape}")
+    return array
+
+
+def check_vector_1d(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``array`` is a 1-D numpy array and return it as float64."""
+    array = np.asarray(array, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
+    return array

@@ -1,0 +1,118 @@
+"""Integration: churn during operation, then search over the fresh state."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import WalkConfig, run_query
+from repro.core.forwarding import PrecomputedScorePolicy
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.graphs.generators import connected_watts_strogatz
+from repro.retrieval.vector_store import DocumentStore
+from repro.runtime.gossip import AsyncPPRDiffusion
+
+
+@pytest.fixture
+def world(tiny_model, tiny_workload):
+    rng = np.random.default_rng(41)
+    adjacency = CompressedAdjacency.from_networkx(
+        connected_watts_strogatz(50, 6, 0.2, seed=40)
+    )
+    query, gold = tiny_workload.sample_case(rng)
+    query_embedding = tiny_model.vector(query)
+    # start with irrelevant documents only
+    words = tiny_workload.sample_irrelevant(rng, 30)
+    stores: dict[int, DocumentStore] = {}
+    personalization = np.zeros((50, tiny_model.dim))
+    for word in words:
+        node = int(rng.integers(50))
+        stores.setdefault(node, DocumentStore(tiny_model.dim)).add(
+            word, tiny_model.vector(word)
+        )
+        personalization[node] += tiny_model.vector(word)
+    return adjacency, stores, personalization, query_embedding, gold, tiny_model
+
+
+class TestChurnThenSearch:
+    def test_new_document_becomes_findable(self, world):
+        adjacency, stores, personalization, query_embedding, gold, model = world
+        diffusion = AsyncPPRDiffusion(
+            adjacency, personalization, alpha=0.5, tol=1e-8, seed=1
+        )
+        diffusion.run()
+
+        # the gold document appears at node 20 mid-operation
+        gold_node = 20
+        stores.setdefault(gold_node, DocumentStore(model.dim)).add(
+            gold, model.vector(gold)
+        )
+        new_p = personalization[gold_node] + model.vector(gold)
+        diffusion.update_personalization(gold_node, new_p)
+        outcome = diffusion.run()
+
+        scores = outcome.embeddings @ query_embedding
+        result = run_query(
+            adjacency,
+            stores,
+            PrecomputedScorePolicy(scores),
+            query_embedding,
+            start_node=22,
+            config=WalkConfig(ttl=30),
+        )
+        assert result.found(gold, top=1)
+
+    def test_departed_node_stops_attracting(self, world):
+        adjacency, stores, personalization, query_embedding, gold, model = world
+        gold_node = 20
+        stores.setdefault(gold_node, DocumentStore(model.dim)).add(
+            gold, model.vector(gold)
+        )
+        personalization = personalization.copy()
+        personalization[gold_node] += model.vector(gold)
+        diffusion = AsyncPPRDiffusion(
+            adjacency, personalization, alpha=0.5, tol=1e-8, seed=2
+        )
+        before = diffusion.run()
+        score_before = (before.embeddings @ query_embedding)[before.node_ids.index(21)]
+
+        diffusion.leave_node(gold_node)
+        after = diffusion.run()
+        ids = after.node_ids
+        score_after = (after.embeddings @ query_embedding)[ids.index(21)]
+        # neighbor 21's diffused relevance drops once the gold host is gone
+        assert score_after < score_before
+
+    def test_join_brings_content_online(self, world):
+        adjacency, stores, personalization, query_embedding, gold, model = world
+        diffusion = AsyncPPRDiffusion(
+            adjacency, personalization, alpha=0.5, tol=1e-8, seed=3
+        )
+        diffusion.run()
+        # a new node joins carrying the gold document
+        stores[50] = DocumentStore(model.dim)
+        stores[50].add(gold, model.vector(gold))
+        diffusion.join_node(50, neighbors=[0, 25], personalization=model.vector(gold))
+        outcome = diffusion.run()
+
+        assert 50 in outcome.node_ids
+        new_adjacency = diffusion.network.to_adjacency()
+        scores_by_label = {
+            label: float(outcome.embeddings[i] @ query_embedding)
+            for i, label in enumerate(outcome.node_ids)
+        }
+        scores = np.array(
+            [scores_by_label[new_adjacency.label_of(i)] for i in range(new_adjacency.n_nodes)]
+        )
+        relabeled_stores = {
+            new_adjacency.id_of(label): store
+            for label, store in stores.items()
+            if label in set(outcome.node_ids)
+        }
+        result = run_query(
+            new_adjacency,
+            relabeled_stores,
+            PrecomputedScorePolicy(scores),
+            query_embedding,
+            start_node=new_adjacency.id_of(25),
+            config=WalkConfig(ttl=20),
+        )
+        assert result.found(gold, top=1)

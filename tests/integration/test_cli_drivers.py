@@ -1,0 +1,48 @@
+"""CLI entry points: argument parsing, rendering, CSV export."""
+
+import csv
+
+import pytest
+
+from repro.experiments import ablations, fig3_accuracy, table1_hops
+
+
+class TestFig3Cli:
+    def test_main_prints_panels(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig3.csv"
+        code = fig3_accuracy.main(["--iterations", "2", "--csv", str(csv_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        for panel in ("3a", "3b", "3c", "3d"):
+            assert f"Fig. {panel}" in out
+        with open(csv_path) as handle:
+            rows = list(csv.DictReader(handle))
+        # 4 panels x 3 alphas x 9 distances
+        assert len(rows) == 4 * 3 * 9
+        assert {row["n_documents"] for row in rows} == {"10", "100", "1000", "10000"}
+
+
+class TestTable1Cli:
+    def test_main_prints_table(self, capsys, tmp_path):
+        csv_path = tmp_path / "table1.csv"
+        code = table1_hops.main(["--iterations", "2", "--csv", str(csv_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "paper success" in out
+        with open(csv_path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+
+
+class TestAblationsCli:
+    def test_single_ablation(self, capsys):
+        code = ablations.main(["--which", "personalization", "--iterations", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ablation: personalization" in out
+        assert "sum" in out
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(SystemExit):
+            ablations.main(["--which", "nonexistent"])

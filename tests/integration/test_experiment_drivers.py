@@ -1,0 +1,111 @@
+"""Smoke tests for the experiment drivers (scaled-down iterations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_environment
+from repro.experiments.ablations import (
+    aggregation_comparison,
+    alpha_sweep,
+    baseline_comparison,
+    fanout_sweep,
+    multi_gold_recall,
+    personalization_comparison,
+    placement_comparison,
+    topk_sweep,
+)
+from repro.experiments.fig3_accuracy import PAPER_ALPHAS, render as render_fig3, run_panel
+from repro.experiments.table1_hops import render as render_table1, run_row
+
+
+@pytest.fixture(scope="module")
+def env():
+    return get_environment(False)
+
+
+class TestEnvironment:
+    def test_cached(self, env):
+        assert get_environment(False) is env
+
+    def test_workload_threshold_matches_paper(self, env):
+        assert env.workload.threshold == 0.6
+
+    def test_graph_is_social_scale(self, env):
+        assert env.n_nodes >= 1000
+        assert env.adjacency.n_edges > 10 * env.n_nodes
+
+
+class TestFig3Driver:
+    def test_panel_runs_and_has_shape(self, env):
+        grid = run_panel(10, iterations=4)
+        assert grid.alphas == PAPER_ALPHAS
+        assert grid.accuracy(0.5, 0) == 1.0  # distance 0 always hits
+        out = render_fig3({10: grid}, "test")
+        assert "M = 10" in out
+        assert "a=0.1" in out
+
+    def test_panel_deterministic(self):
+        a = run_panel(10, iterations=3, seed=5)
+        b = run_panel(10, iterations=3, seed=5)
+        assert a.successes == b.successes
+
+
+class TestTable1Driver:
+    def test_row_runs(self):
+        stats = run_row(10, iterations=4)
+        assert stats.samples == 40
+        assert stats.n_documents == 10
+        out = render_table1({10: stats}, "test")
+        assert "paper success" in out
+        assert "1905 / 5000" in out  # paper reference column
+
+
+class TestAblations:
+    def test_alpha_sweep(self):
+        rows = alpha_sweep(n_documents=50, alphas=(0.2, 0.8), iterations=3)
+        assert len(rows) == 2
+        assert {row["alpha"] for row in rows} == {0.2, 0.8}
+
+    def test_fanout_sweep(self):
+        rows = fanout_sweep(n_documents=50, fanouts=(1, 2), iterations=3)
+        assert len(rows) == 2
+        assert rows[1]["approx messages/query"] > rows[0]["approx messages/query"]
+
+    def test_topk_sweep(self):
+        rows = topk_sweep(n_documents=50, ks=(1, 5), iterations=3)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["top-k hit rate"] >= row["top-1 hit rate"]
+
+    def test_placement_comparison(self):
+        rows = placement_comparison(n_documents=50, iterations=3)
+        assert {row["placement"] for row in rows} == {"uniform", "correlated"}
+
+    def test_personalization_comparison(self):
+        rows = personalization_comparison(n_documents=50, iterations=3)
+        assert {row["weighting"] for row in rows} == {"sum", "mean", "sqrt", "l2"}
+
+    def test_aggregation_comparison(self):
+        rows = aggregation_comparison(
+            n_documents=100, channel_bits=(0, 2), iterations=3
+        )
+        assert [row["channels"] for row in rows] == [1, 4]
+        assert rows[0]["note"] == "paper (flat sum)"
+
+    def test_multi_gold_recall(self):
+        rows = multi_gold_recall(n_documents=100, k=3, iterations=4)
+        assert rows[0]["k"] == 3
+        assert 0.0 <= rows[0]["recall@budget"] <= 1.0
+        assert rows[0]["any-gold hit rate"] >= rows[0]["recall@budget"]
+
+    def test_baseline_comparison(self):
+        rows = baseline_comparison(n_documents=50, iterations=5)
+        by_method = {row["method"]: row for row in rows}
+        assert set(by_method) == {
+            "diffusion walk",
+            "random walk",
+            "degree-biased walk",
+            "flooding@budget",
+        }
+        # equal budgets: flooding must not exceed the walk budget
+        assert by_method["flooding@budget"]["mean messages"] <= 50 + 1e-9

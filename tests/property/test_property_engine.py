@@ -1,0 +1,136 @@
+"""Property-based tests: walk-engine invariants on random instances."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import WalkConfig, run_query
+from repro.core.forwarding import PrecomputedScorePolicy, RandomWalkPolicy
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.retrieval.vector_store import DocumentStore
+
+
+@st.composite
+def walk_instance(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    graph = nx.random_labeled_tree(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(draw(st.integers(0, n))):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            graph.add_edge(int(u), int(v))
+    adjacency = CompressedAdjacency.from_networkx(graph)
+    scores = rng.standard_normal(n)
+    ttl = draw(st.integers(min_value=1, max_value=40))
+    start = draw(st.integers(min_value=0, max_value=n - 1))
+    # scatter a few documents
+    stores = {}
+    for i in range(draw(st.integers(0, 5))):
+        node = int(rng.integers(n))
+        stores.setdefault(node, DocumentStore(3)).add(
+            f"doc{i}", rng.standard_normal(3)
+        )
+    return adjacency, scores, stores, ttl, start, seed
+
+
+class TestWalkInvariants:
+    @given(instance=walk_instance())
+    @settings(max_examples=120, deadline=None)
+    def test_ttl_bounds_visits(self, instance):
+        adjacency, scores, stores, ttl, start, seed = instance
+        result = run_query(
+            adjacency, stores, PrecomputedScorePolicy(scores),
+            np.ones(3), start, WalkConfig(ttl=ttl),
+        )
+        assert 1 <= len(result.visits) <= ttl
+
+    @given(instance=walk_instance())
+    @settings(max_examples=120, deadline=None)
+    def test_path_follows_edges(self, instance):
+        adjacency, scores, stores, ttl, start, seed = instance
+        result = run_query(
+            adjacency, stores, PrecomputedScorePolicy(scores),
+            np.ones(3), start, WalkConfig(ttl=ttl),
+        )
+        path = result.path
+        for u, v in zip(path, path[1:]):
+            assert adjacency.has_edge(u, v)
+
+    @given(instance=walk_instance())
+    @settings(max_examples=100, deadline=None)
+    def test_hop_indices_consecutive(self, instance):
+        adjacency, scores, stores, ttl, start, seed = instance
+        result = run_query(
+            adjacency, stores, PrecomputedScorePolicy(scores),
+            np.ones(3), start, WalkConfig(ttl=ttl),
+        )
+        hops = [hop for hop, _ in result.visits]
+        assert hops == list(range(len(hops)))
+
+    @given(instance=walk_instance())
+    @settings(max_examples=100, deadline=None)
+    def test_messages_equal_forwards(self, instance):
+        adjacency, scores, stores, ttl, start, seed = instance
+        result = run_query(
+            adjacency, stores, PrecomputedScorePolicy(scores),
+            np.ones(3), start, WalkConfig(ttl=ttl),
+        )
+        assert result.messages == len(result.visits) - 1
+
+    @given(instance=walk_instance())
+    @settings(max_examples=100, deadline=None)
+    def test_discovered_docs_live_on_visited_nodes(self, instance):
+        adjacency, scores, stores, ttl, start, seed = instance
+        query = np.ones(3)
+        result = run_query(
+            adjacency, stores, PrecomputedScorePolicy(scores),
+            query, start, WalkConfig(ttl=ttl, k=3),
+        )
+        visited = {node for _, node in result.visits}
+        for doc_id, hop in result.discovered_at.items():
+            host_nodes = {
+                node for node, store in stores.items() if doc_id in store
+            }
+            assert host_nodes & visited
+            assert 0 <= hop < len(result.visits)
+
+    @given(instance=walk_instance())
+    @settings(max_examples=100, deadline=None)
+    def test_tracker_items_within_k(self, instance):
+        adjacency, scores, stores, ttl, start, seed = instance
+        result = run_query(
+            adjacency, stores, PrecomputedScorePolicy(scores),
+            np.ones(3), start, WalkConfig(ttl=ttl, k=2),
+        )
+        assert len(result.results) <= 2
+
+    @given(instance=walk_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_policy_reproducible(self, instance):
+        adjacency, scores, stores, ttl, start, seed = instance
+        kwargs = dict(config=WalkConfig(ttl=ttl, k=2))
+        a = run_query(
+            adjacency, stores, PrecomputedScorePolicy(scores),
+            np.ones(3), start, **kwargs,
+        )
+        b = run_query(
+            adjacency, stores, PrecomputedScorePolicy(scores),
+            np.ones(3), start, **kwargs,
+        )
+        assert a.path == b.path
+
+    @given(instance=walk_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_random_policy_seed_reproducible(self, instance):
+        adjacency, scores, stores, ttl, start, seed = instance
+        a = run_query(
+            adjacency, stores, RandomWalkPolicy(), np.ones(3), start,
+            WalkConfig(ttl=ttl), seed=seed,
+        )
+        b = run_query(
+            adjacency, stores, RandomWalkPolicy(), np.ones(3), start,
+            WalkConfig(ttl=ttl), seed=seed,
+        )
+        assert a.path == b.path

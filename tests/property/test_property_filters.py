@@ -1,0 +1,87 @@
+"""Property-based tests for graph filters on random connected graphs."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.gsp.filters import PersonalizedPageRank
+from repro.gsp.normalization import transition_matrix
+
+
+@st.composite
+def connected_graph_operator(draw):
+    """A column-stochastic operator of a random connected graph."""
+    n = draw(st.integers(min_value=3, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    graph = nx.random_labeled_tree(n, seed=int(seed))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            graph.add_edge(int(u), int(v))
+    adjacency = CompressedAdjacency.from_networkx(graph)
+    return transition_matrix(adjacency, "column"), n, rng
+
+
+class TestPPRProperties:
+    @given(
+        setup=connected_graph_operator(),
+        alpha=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mass_conservation(self, setup, alpha):
+        operator, n, rng = setup
+        signal = rng.standard_normal(n)
+        out = PersonalizedPageRank(alpha, tol=1e-12).apply(operator, signal)
+        assert np.isclose(out.sum(), signal.sum(), rtol=1e-6, atol=1e-8)
+
+    @given(
+        setup=connected_graph_operator(),
+        alpha=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative_signals_stay_non_negative(self, setup, alpha):
+        operator, n, rng = setup
+        signal = np.abs(rng.standard_normal(n))
+        out = PersonalizedPageRank(alpha, tol=1e-12).apply(operator, signal)
+        assert np.all(out >= -1e-10)
+
+    @given(
+        setup=connected_graph_operator(),
+        alpha=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_point_equation(self, setup, alpha):
+        operator, n, rng = setup
+        signal = rng.standard_normal(n)
+        out = PersonalizedPageRank(alpha, tol=1e-13).apply(operator, signal)
+        residual = out - (1 - alpha) * (operator @ out) - alpha * signal
+        assert np.max(np.abs(residual)) < 1e-9
+
+    @given(
+        setup=connected_graph_operator(),
+        alpha=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_power_equals_solve(self, setup, alpha):
+        operator, n, rng = setup
+        signal = rng.standard_normal(n)
+        power = PersonalizedPageRank(alpha, tol=1e-13).apply(operator, signal)
+        solve = PersonalizedPageRank(alpha, method="solve").apply(operator, signal)
+        assert np.allclose(power, solve, atol=1e-8)
+
+    @given(setup=connected_graph_operator())
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, setup):
+        operator, n, rng = setup
+        a = rng.standard_normal(n)
+        b = rng.standard_normal(n)
+        ppr = PersonalizedPageRank(0.3, tol=1e-13)
+        assert np.allclose(
+            ppr.apply(operator, a + 2 * b),
+            ppr.apply(operator, a) + 2 * ppr.apply(operator, b),
+            atol=1e-8,
+        )

@@ -1,0 +1,102 @@
+"""Property-based tests for similarity kernels and top-k scoring."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.embeddings.similarity import cosine_similarity, dot_scores, l2_normalize
+from repro.retrieval.scoring import top_k_indices
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+vectors = npst.arrays(
+    dtype=np.float64, shape=st.integers(2, 16), elements=finite_floats
+)
+
+matrices = npst.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 12), st.just(8)),
+    elements=finite_floats,
+)
+
+
+class TestL2NormalizeProperties:
+    @given(v=vectors)
+    @settings(max_examples=150)
+    def test_norm_is_one_or_zero(self, v):
+        out = l2_normalize(v)
+        norm = np.linalg.norm(out)
+        assert np.isclose(norm, 1.0) or np.isclose(norm, 0.0)
+
+    @given(v=vectors, scale=st.floats(min_value=0.1, max_value=100))
+    @settings(max_examples=150)
+    def test_positive_scale_invariance(self, v, scale):
+        assert np.allclose(l2_normalize(v), l2_normalize(scale * v), atol=1e-9)
+
+    @given(v=vectors)
+    @settings(max_examples=100)
+    def test_idempotent(self, v):
+        once = l2_normalize(v)
+        twice = l2_normalize(once)
+        assert np.allclose(once, twice, atol=1e-12)
+
+
+class TestCosineProperties:
+    @given(m=matrices)
+    @settings(max_examples=100)
+    def test_bounded(self, m):
+        query = m[0]
+        sims = cosine_similarity(query, m)
+        assert np.all(sims <= 1.0 + 1e-9)
+        assert np.all(sims >= -1.0 - 1e-9)
+
+    @given(m=matrices)
+    @settings(max_examples=100)
+    def test_symmetry(self, m):
+        a, b = m[0], m[-1]
+        assert np.isclose(
+            cosine_similarity(a, b)[0], cosine_similarity(b, a)[0], atol=1e-9
+        )
+
+
+class TestDotLinearity:
+    @given(m=matrices)
+    @settings(max_examples=100)
+    def test_sum_of_scores_is_score_of_sum(self, m):
+        """The personalization identity (paper eq. 3)."""
+        query = np.arange(8, dtype=float)
+        total = dot_scores(query, m).sum()
+        summed = float(m.sum(axis=0) @ query)
+        assert np.isclose(total, summed, rtol=1e-9, atol=1e-6)
+
+
+class TestTopKProperties:
+    @given(
+        scores=npst.arrays(
+            dtype=np.float64, shape=st.integers(1, 40), elements=finite_floats
+        ),
+        k=st.integers(1, 10),
+    )
+    @settings(max_examples=200)
+    def test_matches_stable_sort(self, scores, k):
+        order = top_k_indices(scores, k)
+        expected = sorted(range(len(scores)), key=lambda i: (-scores[i], i))[:k]
+        assert list(order) == expected
+
+    @given(
+        scores=npst.arrays(
+            dtype=np.float64, shape=st.integers(2, 40), elements=finite_floats
+        )
+    )
+    @settings(max_examples=100)
+    def test_selected_scores_dominate_rest(self, scores):
+        k = len(scores) // 2
+        chosen = set(int(i) for i in top_k_indices(scores, k))
+        rest = set(range(len(scores))) - chosen
+        if chosen and rest:
+            assert min(scores[i] for i in chosen) >= max(
+                scores[i] for i in rest
+            ) - 1e-12

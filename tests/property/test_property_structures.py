@@ -1,0 +1,142 @@
+"""Property-based tests: adjacency structure, event queue, document store."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.graphs.metrics import bfs_distances
+from repro.retrieval.vector_store import DocumentStore
+from repro.runtime.events import EventQueue
+
+
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            max_size=3 * n,
+        )
+    )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from((u, v) for u, v in edges if u != v)
+    return graph
+
+
+class TestAdjacencyProperties:
+    @given(graph=random_graph())
+    @settings(max_examples=100, deadline=None)
+    def test_neighbor_symmetry(self, graph):
+        adjacency = CompressedAdjacency.from_networkx(graph)
+        for u in range(adjacency.n_nodes):
+            for v in adjacency.neighbors(u):
+                assert u in adjacency.neighbors(int(v))
+
+    @given(graph=random_graph())
+    @settings(max_examples=100, deadline=None)
+    def test_degree_sequence_preserved(self, graph):
+        adjacency = CompressedAdjacency.from_networkx(graph)
+        for node, degree in graph.degree():
+            assert adjacency.degree(node) == degree
+
+    @given(graph=random_graph())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_through_networkx(self, graph):
+        adjacency = CompressedAdjacency.from_networkx(graph)
+        back = CompressedAdjacency.from_networkx(adjacency.to_networkx())
+        assert np.array_equal(back.indptr, adjacency.indptr)
+        assert np.array_equal(back.indices, adjacency.indices)
+
+    @given(graph=random_graph(), source=st.integers(0, 24))
+    @settings(max_examples=100, deadline=None)
+    def test_bfs_triangle_inequality(self, graph, source):
+        adjacency = CompressedAdjacency.from_networkx(graph)
+        source = source % adjacency.n_nodes
+        dist = bfs_distances(adjacency, source)
+        # reachable neighbors differ by at most 1
+        for u in range(adjacency.n_nodes):
+            if dist[u] < 0:
+                continue
+            for v in adjacency.neighbors(u):
+                assert dist[v] >= 0
+                assert abs(dist[u] - dist[v]) <= 1
+
+
+class TestEventQueueProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False), max_size=40
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dispatch_order_sorted_by_time_then_seq(self, delays):
+        queue = EventQueue()
+        log = []
+        for i, delay in enumerate(delays):
+            queue.schedule(delay, lambda i=i, d=delay: log.append((d, i)))
+        queue.run()
+        assert log == sorted(log)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        cancel_idx=st.integers(min_value=0, max_value=29),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cancelled_events_never_run(self, delays, cancel_idx):
+        queue = EventQueue()
+        log = []
+        handles = [
+            queue.schedule(delay, lambda i=i: log.append(i))
+            for i, delay in enumerate(delays)
+        ]
+        cancel_idx = cancel_idx % len(handles)
+        handles[cancel_idx].cancel()
+        queue.run()
+        assert cancel_idx not in log
+        assert len(log) == len(delays) - 1
+
+
+doc_ops = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 15)),
+    max_size=60,
+)
+
+
+class TestDocumentStoreProperties:
+    @given(ops=doc_ops)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference_dict(self, ops):
+        """Any add/remove sequence: store top-k equals brute force over a dict."""
+        rng = np.random.default_rng(0)
+        store = DocumentStore(4)
+        reference: dict[str, np.ndarray] = {}
+        for op, key in ops:
+            doc_id = f"d{key}"
+            if op == "add":
+                vector = rng.standard_normal(4)
+                store.add(doc_id, vector)
+                reference[doc_id] = vector
+            elif doc_id in reference:
+                store.remove(doc_id)
+                del reference[doc_id]
+        assert len(store) == len(reference)
+        query = rng.standard_normal(4)
+        got = store.top_k(query, 5)
+        expected = sorted(
+            ((doc_id, float(vec @ query)) for doc_id, vec in reference.items()),
+            key=lambda kv: -kv[1],
+        )[:5]
+        assert {doc_id for doc_id, _ in got} == {doc_id for doc_id, _ in expected}
+        for (_, score_got), (_, score_exp) in zip(
+            sorted(got, key=lambda kv: -kv[1]), expected
+        ):
+            assert np.isclose(score_got, score_exp)

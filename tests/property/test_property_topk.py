@@ -1,0 +1,117 @@
+"""Property-based tests: TopKTracker equals brute-force top-k selection.
+
+The tracker's domain contract (paper §IV-C): a document's score is a pure
+function of the query, so the same doc id is always offered with the same
+score.  The strategies below honor that by drawing a score table first and a
+stream of doc ids second.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retrieval.topk import TopKTracker
+
+scores_table = st.dictionaries(
+    st.integers(min_value=0, max_value=30),
+    st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=31,
+)
+
+
+@st.composite
+def offer_stream(draw):
+    table = draw(scores_table)
+    keys = sorted(table)
+    stream = draw(
+        st.lists(st.sampled_from(keys), max_size=60)
+    )
+    return [(str(key), table[key]) for key in stream]
+
+
+def brute_force_top_k(items: list[tuple[str, float]], k: int) -> list[str]:
+    """Best-k distinct docs by (score desc, id asc)."""
+    table = dict(items)
+    ordered = sorted(table.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [doc_id for doc_id, _ in ordered[:k]]
+
+
+class TestTrackerMatchesBruteForce:
+    @given(items=offer_stream(), k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200)
+    def test_contents_equal_brute_force(self, items, k):
+        tracker = TopKTracker(k)
+        for doc_id, score in items:
+            tracker.offer(doc_id, score)
+        assert tracker.doc_ids() == brute_force_top_k(items, k)
+
+    @given(items=offer_stream(), k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_insertion_order_invariance(self, items, k):
+        forward = TopKTracker(k)
+        for doc_id, score in items:
+            forward.offer(doc_id, score)
+        backward = TopKTracker(k)
+        for doc_id, score in reversed(items):
+            backward.offer(doc_id, score)
+        assert forward.doc_ids() == backward.doc_ids()
+
+    @given(items=offer_stream(), k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_size_bounded_by_k(self, items, k):
+        tracker = TopKTracker(k)
+        for doc_id, score in items:
+            tracker.offer(doc_id, score)
+        assert len(tracker) <= k
+        assert len(tracker) == min(k, len({d for d, _ in items}))
+
+    @given(items=offer_stream(), k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_items_sorted_best_first(self, items, k):
+        tracker = TopKTracker(k)
+        for doc_id, score in items:
+            tracker.offer(doc_id, score)
+        keys = [item.sort_key for item in tracker.items()]
+        assert keys == sorted(keys)
+
+    @given(
+        items=offer_stream(),
+        split=st.integers(min_value=0, max_value=60),
+        k=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100)
+    def test_merge_equals_single_stream(self, items, split, k):
+        """Splitting a stream between two trackers and merging equals one
+        tracker over the whole stream (parallel walks rejoining)."""
+        split = split % (len(items) + 1)
+        left_stream, right_stream = items[:split], items[split:]
+        a = TopKTracker(k)
+        for doc_id, score in left_stream:
+            a.offer(doc_id, score)
+        b = TopKTracker(k)
+        for doc_id, score in right_stream:
+            b.offer(doc_id, score)
+        a.merge(b)
+        combined = TopKTracker(k)
+        for doc_id, score in items:
+            combined.offer(doc_id, score)
+        assert a.doc_ids() == combined.doc_ids()
+
+    @given(items=offer_stream())
+    @settings(max_examples=50)
+    def test_from_items_roundtrip(self, items):
+        tracker = TopKTracker(5)
+        for doc_id, score in items:
+            tracker.offer(doc_id, score)
+        rebuilt = TopKTracker.from_items(5, tracker.items())
+        assert rebuilt.doc_ids() == tracker.doc_ids()
+
+    @given(items=offer_stream(), k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_worst_score_is_minimum_kept(self, items, k):
+        tracker = TopKTracker(k)
+        for doc_id, score in items:
+            tracker.offer(doc_id, score)
+        if tracker.is_full:
+            kept = [item.score for item in tracker.items()]
+            assert tracker.worst_score() == min(kept)

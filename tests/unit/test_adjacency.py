@@ -1,0 +1,106 @@
+"""Tests for repro.graphs.adjacency.CompressedAdjacency."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.adjacency import CompressedAdjacency
+
+
+@pytest.fixture
+def triangle_plus_tail() -> CompressedAdjacency:
+    """0-1-2 triangle with a 2-3 tail."""
+    graph = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+    return CompressedAdjacency.from_networkx(graph)
+
+
+class TestConstruction:
+    def test_counts(self, triangle_plus_tail):
+        assert triangle_plus_tail.n_nodes == 4
+        assert triangle_plus_tail.n_edges == 4
+
+    def test_neighbors_sorted(self, triangle_plus_tail):
+        assert list(triangle_plus_tail.neighbors(2)) == [0, 1, 3]
+
+    def test_degrees(self, triangle_plus_tail):
+        assert triangle_plus_tail.degree(2) == 3
+        assert triangle_plus_tail.degree(3) == 1
+        assert np.array_equal(triangle_plus_tail.degrees, [2, 2, 3, 1])
+
+    def test_self_loops_dropped(self):
+        graph = nx.Graph([(0, 0), (0, 1)])
+        adj = CompressedAdjacency.from_networkx(graph)
+        assert adj.n_edges == 1
+        assert list(adj.neighbors(0)) == [1]
+
+    def test_directed_rejected(self):
+        with pytest.raises(ValueError, match="undirected"):
+            CompressedAdjacency.from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_isolated_node_kept(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1, 2])
+        graph.add_edge(0, 1)
+        adj = CompressedAdjacency.from_networkx(graph)
+        assert adj.n_nodes == 3
+        assert adj.degree(2) == 0
+
+    def test_from_edges(self):
+        adj = CompressedAdjacency.from_edges(3, [(0, 1), (1, 2)])
+        assert adj.n_edges == 2
+        assert list(adj.neighbors(1)) == [0, 2]
+
+    def test_malformed_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedAdjacency(np.array([1, 2]), np.array([0]))
+
+    def test_indices_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CompressedAdjacency(np.array([0, 1]), np.array([5]))
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedAdjacency(np.array([0, 0]), np.array([], dtype=int), ["a", "b"])
+
+
+class TestLabels:
+    def test_non_integer_labels_roundtrip(self):
+        graph = nx.Graph([("x", "y"), ("y", "z")])
+        adj = CompressedAdjacency.from_networkx(graph)
+        for label in ("x", "y", "z"):
+            assert adj.label_of(adj.id_of(label)) == label
+
+    def test_default_labels_are_ids(self, triangle_plus_tail):
+        assert triangle_plus_tail.label_of(2) == 2
+
+
+class TestQueries:
+    def test_has_edge(self, triangle_plus_tail):
+        assert triangle_plus_tail.has_edge(0, 1)
+        assert triangle_plus_tail.has_edge(1, 0)
+        assert not triangle_plus_tail.has_edge(0, 3)
+
+    def test_has_edge_no_neighbors(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        adj = CompressedAdjacency.from_networkx(graph)
+        assert not adj.has_edge(0, 1)
+
+
+class TestConversion:
+    def test_to_scipy_symmetric(self, triangle_plus_tail):
+        mat = triangle_plus_tail.to_scipy()
+        dense = mat.toarray()
+        assert np.allclose(dense, dense.T)
+        assert dense.sum() == 2 * triangle_plus_tail.n_edges
+
+    def test_to_networkx_roundtrip(self, triangle_plus_tail):
+        graph = triangle_plus_tail.to_networkx()
+        back = CompressedAdjacency.from_networkx(graph)
+        assert np.array_equal(back.indptr, triangle_plus_tail.indptr)
+        assert np.array_equal(back.indices, triangle_plus_tail.indices)
+
+    def test_roundtrip_preserves_labels(self):
+        graph = nx.Graph([("a", "b")])
+        adj = CompressedAdjacency.from_networkx(graph)
+        assert set(adj.to_networkx().nodes()) == {"a", "b"}

@@ -1,0 +1,49 @@
+"""Tests for runtime convergence diagnostics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.gsp.filters import PersonalizedPageRank
+from repro.gsp.normalization import transition_matrix
+from repro.runtime.convergence import diffusion_error, fixed_point_residual
+
+
+class TestFixedPointResidual:
+    def test_zero_at_fixed_point(self):
+        operator = transition_matrix(nx.cycle_graph(8), "column")
+        rng = np.random.default_rng(0)
+        personalization = rng.standard_normal((8, 3))
+        embeddings = PersonalizedPageRank(0.4, method="solve").apply(
+            operator, personalization
+        )
+        residual = fixed_point_residual(operator, embeddings, personalization, 0.4)
+        assert residual < 1e-10
+
+    def test_nonzero_away_from_fixed_point(self):
+        operator = transition_matrix(nx.cycle_graph(8), "column")
+        rng = np.random.default_rng(1)
+        personalization = rng.standard_normal((8, 3))
+        residual = fixed_point_residual(
+            operator, personalization, personalization, 0.4
+        )
+        assert residual > 1e-3
+
+    def test_empty_signal(self):
+        operator = transition_matrix(nx.empty_graph(0, create_using=nx.Graph), "column")
+        assert fixed_point_residual(operator, np.zeros((0, 2)), np.zeros((0, 2)), 0.5) == 0.0
+
+
+class TestDiffusionError:
+    def test_identical_zero(self):
+        a = np.ones((3, 2))
+        assert diffusion_error(a, a.copy()) == 0.0
+
+    def test_max_abs_semantics(self):
+        a = np.zeros((2, 2))
+        b = np.array([[0.0, -3.0], [1.0, 0.0]])
+        assert diffusion_error(a, b) == 3.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            diffusion_error(np.zeros((2, 2)), np.zeros((3, 2)))

@@ -1,0 +1,69 @@
+"""Tests for repro.gsp.convolution."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.gsp.convolution import k_hop_aggregate, propagate
+from repro.gsp.normalization import transition_matrix
+
+
+@pytest.fixture
+def path_operator():
+    return transition_matrix(nx.path_graph(4), "column")
+
+
+class TestPropagate:
+    def test_zero_hops_identity(self, path_operator):
+        signal = np.array([1.0, 2.0, 3.0, 4.0])
+        assert np.allclose(propagate(path_operator, signal, hops=0), signal)
+
+    def test_one_hop_matches_matmul(self, path_operator):
+        signal = np.array([1.0, 0.0, 0.0, 0.0])
+        expected = path_operator @ signal
+        assert np.allclose(propagate(path_operator, signal, 1), expected)
+
+    def test_two_hops_compose(self, path_operator):
+        signal = np.array([1.0, 0.0, 0.0, 0.0])
+        once = propagate(path_operator, signal, 1)
+        twice = propagate(path_operator, once, 1)
+        assert np.allclose(propagate(path_operator, signal, 2), twice)
+
+    def test_matrix_signal_per_column(self, path_operator):
+        signal = np.eye(4)[:, :2]
+        out = propagate(path_operator, signal, 1)
+        for col in range(2):
+            assert np.allclose(out[:, col], propagate(path_operator, signal[:, col], 1))
+
+    def test_mass_conserved_under_column_normalization(self, path_operator):
+        signal = np.array([1.0, 2.0, 0.0, 1.0])
+        out = propagate(path_operator, signal, 5)
+        assert out.sum() == pytest.approx(signal.sum())
+
+    def test_shape_mismatch_raises(self, path_operator):
+        with pytest.raises(ValueError):
+            propagate(path_operator, np.zeros(5))
+
+    def test_negative_hops_raises(self, path_operator):
+        with pytest.raises(ValueError):
+            propagate(path_operator, np.zeros(4), hops=-1)
+
+
+class TestKHopAggregate:
+    def test_degenerate_weights_identity(self, path_operator):
+        signal = np.array([1.0, 2.0, 3.0, 4.0])
+        assert np.allclose(k_hop_aggregate(path_operator, signal, np.array([1.0])), signal)
+
+    def test_matches_manual_sum(self, path_operator):
+        signal = np.array([1.0, 0.0, 2.0, 0.0])
+        weights = np.array([0.5, 0.3, 0.2])
+        expected = (
+            0.5 * signal
+            + 0.3 * propagate(path_operator, signal, 1)
+            + 0.2 * propagate(path_operator, signal, 2)
+        )
+        assert np.allclose(k_hop_aggregate(path_operator, signal, weights), expected)
+
+    def test_empty_weights_rejected(self, path_operator):
+        with pytest.raises(ValueError):
+            k_hop_aggregate(path_operator, np.zeros(4), np.array([]))

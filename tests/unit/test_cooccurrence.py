@@ -1,0 +1,139 @@
+"""Tests for repro.embeddings.cooccurrence: the SPPMI+SVD trainer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.embeddings.cooccurrence import (
+    CooccurrenceCounts,
+    count_cooccurrences,
+    sppmi_matrix,
+    train_svd_embeddings,
+)
+from repro.embeddings.text import ZipfCorpusConfig, generate_topic_corpus
+
+
+class TestCountCooccurrences:
+    def test_simple_window(self):
+        counts = count_cooccurrences([["a", "b", "c"]], ["a", "b", "c"], window=1)
+        m = counts.matrix.toarray()
+        # pairs within window 1: (a,b), (b,c); symmetric
+        assert m[0, 1] == 1 and m[1, 0] == 1
+        assert m[1, 2] == 1 and m[2, 1] == 1
+        assert m[0, 2] == 0
+
+    def test_window_2_reaches_further(self):
+        counts = count_cooccurrences([["a", "b", "c"]], ["a", "b", "c"], window=2)
+        assert counts.matrix.toarray()[0, 2] == 1
+
+    def test_oov_tokens_skipped(self):
+        counts = count_cooccurrences([["a", "zzz", "b"]], ["a", "b"], window=1)
+        # 'zzz' is filtered out, so a and b become window-adjacent
+        assert counts.matrix.toarray()[0, 1] == 1
+
+    def test_word_counts(self):
+        counts = count_cooccurrences(
+            [["a", "a", "b"], ["b"]], ["a", "b"], window=1
+        )
+        assert counts.word_counts[0] == 2
+        assert counts.word_counts[1] == 2
+
+    def test_symmetry(self):
+        sentences = [["a", "b", "c", "a"], ["c", "b"]]
+        counts = count_cooccurrences(sentences, ["a", "b", "c"], window=2)
+        m = counts.matrix.toarray()
+        assert np.allclose(m, m.T)
+
+    def test_empty_corpus(self):
+        counts = count_cooccurrences([], ["a", "b"], window=2)
+        assert counts.matrix.nnz == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            CooccurrenceCounts(
+                ["a", "b"], sp.csr_matrix((3, 3)), np.zeros(2), 0.0
+            )
+
+
+class TestSppmi:
+    def test_empty_counts_give_empty_sppmi(self):
+        counts = count_cooccurrences([], ["a", "b"])
+        assert sppmi_matrix(counts).nnz == 0
+
+    def test_values_non_negative(self):
+        sentences = [["a", "b"], ["a", "b"], ["a", "c"]]
+        counts = count_cooccurrences(sentences, ["a", "b", "c"], window=1)
+        out = sppmi_matrix(counts)
+        assert np.all(out.data >= 0)
+
+    def test_larger_shift_sparser(self):
+        rng = np.random.default_rng(0)
+        sentences = [
+            [f"w{rng.integers(10)}" for _ in range(8)] for _ in range(50)
+        ]
+        vocab = [f"w{i}" for i in range(10)]
+        counts = count_cooccurrences(sentences, vocab, window=2)
+        low = sppmi_matrix(counts, shift=1.0)
+        high = sppmi_matrix(counts, shift=5.0)
+        assert high.nnz <= low.nnz
+
+    def test_frequent_pair_has_high_pmi(self):
+        # 'a' and 'b' always co-occur; 'c' co-occurs with everything equally.
+        sentences = [["a", "b"]] * 20 + [["c", "a"], ["c", "b"]]
+        counts = count_cooccurrences(sentences, ["a", "b", "c"], window=1)
+        out = sppmi_matrix(counts).toarray()
+        assert out[0, 1] > out[0, 2]
+
+
+class TestTrainSvd:
+    @pytest.fixture(scope="class")
+    def trained_model(self):
+        """Train on a topical corpus; same-topic words should embed close."""
+        n_words, n_topics = 60, 4
+        vocabulary = [f"w{i:02d}" for i in range(n_words)]
+        topic_of = np.array([i % n_topics for i in range(n_words)])
+        frequencies = np.ones(n_words)
+        sentences = list(
+            generate_topic_corpus(
+                vocabulary,
+                topic_of,
+                frequencies,
+                ZipfCorpusConfig(n_sentences=3000, sentence_length=10,
+                                 topic_adherence=0.95),
+                seed=5,
+            )
+        )
+        counts = count_cooccurrences(sentences, vocabulary, window=3)
+        model = train_svd_embeddings(counts, dim=16)
+        return model, topic_of
+
+    def test_output_shape(self, trained_model):
+        model, _ = trained_model
+        assert model.dim == 16
+        assert len(model) == 60
+
+    def test_vectors_normalized(self, trained_model):
+        model, _ = trained_model
+        norms = np.linalg.norm(model.vectors, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_same_topic_words_closer(self, trained_model):
+        """The headline property: topical co-occurrence produces clusters."""
+        model, topic_of = trained_model
+        vectors = model.vectors
+        same, cross = [], []
+        for i in range(len(model)):
+            for j in range(i + 1, len(model)):
+                sim = float(vectors[i] @ vectors[j])
+                (same if topic_of[i] == topic_of[j] else cross).append(sim)
+        assert np.mean(same) > np.mean(cross) + 0.2
+
+    def test_dim_too_large_raises(self):
+        counts = count_cooccurrences([["a", "b"]], ["a", "b"])
+        with pytest.raises(ValueError):
+            train_svd_embeddings(counts, dim=2)
+
+    def test_empty_sppmi_raises(self):
+        counts = count_cooccurrences([], ["a", "b", "c"])
+        with pytest.raises(ValueError, match="empty"):
+            train_svd_embeddings(counts, dim=1)

@@ -1,0 +1,91 @@
+"""Tests for the diffusion facade: the three strategies agree."""
+
+import numpy as np
+import pytest
+
+from repro.core.diffusion import diffuse_embeddings
+
+
+@pytest.fixture(scope="module")
+def setup(small_world_adjacency):
+    rng = np.random.default_rng(3)
+    personalization = rng.standard_normal((small_world_adjacency.n_nodes, 6))
+    return small_world_adjacency, personalization
+
+
+@pytest.fixture(scope="module")
+def small_world_adjacency():
+    from repro.graphs.adjacency import CompressedAdjacency
+    from repro.graphs.generators import connected_watts_strogatz
+
+    return CompressedAdjacency.from_networkx(
+        connected_watts_strogatz(40, 4, 0.2, seed=13)
+    )
+
+
+class TestStrategiesAgree:
+    def test_power_vs_solve(self, setup):
+        adjacency, personalization = setup
+        power = diffuse_embeddings(
+            adjacency, personalization, alpha=0.4, method="power", tol=1e-12
+        )
+        solve = diffuse_embeddings(
+            adjacency, personalization, alpha=0.4, method="solve"
+        )
+        assert np.allclose(power.embeddings, solve.embeddings, atol=1e-9)
+
+    def test_async_vs_solve(self, setup):
+        adjacency, personalization = setup
+        solve = diffuse_embeddings(
+            adjacency, personalization, alpha=0.4, method="solve"
+        )
+        asynchronous = diffuse_embeddings(
+            adjacency, personalization, alpha=0.4, method="async", tol=1e-8, seed=0
+        )
+        assert np.max(np.abs(asynchronous.embeddings - solve.embeddings)) < 1e-5
+        assert asynchronous.messages > 0
+
+    def test_outcome_metadata(self, setup):
+        adjacency, personalization = setup
+        outcome = diffuse_embeddings(adjacency, personalization, alpha=0.5)
+        assert outcome.method == "power"
+        assert outcome.alpha == 0.5
+        assert outcome.converged
+        assert outcome.embeddings.shape == personalization.shape
+
+    def test_vector_signal_supported(self, setup):
+        adjacency, _ = setup
+        signal = np.zeros(adjacency.n_nodes)
+        signal[0] = 1.0
+        outcome = diffuse_embeddings(adjacency, signal, alpha=0.3, tol=1e-12)
+        assert outcome.embeddings.shape == (adjacency.n_nodes, 1)
+        assert outcome.embeddings.sum() == pytest.approx(1.0, abs=1e-8)
+
+
+class TestNormalizations:
+    @pytest.mark.parametrize("kind", ["column", "row", "symmetric"])
+    def test_all_normalizations_run(self, setup, kind):
+        adjacency, personalization = setup
+        outcome = diffuse_embeddings(
+            adjacency, personalization, alpha=0.5, normalization=kind
+        )
+        assert outcome.converged
+
+    def test_async_requires_column(self, setup):
+        adjacency, personalization = setup
+        with pytest.raises(ValueError, match="column"):
+            diffuse_embeddings(
+                adjacency, personalization, method="async", normalization="row"
+            )
+
+
+class TestValidation:
+    def test_unknown_method(self, setup):
+        adjacency, personalization = setup
+        with pytest.raises(ValueError, match="method"):
+            diffuse_embeddings(adjacency, personalization, method="quantum")
+
+    def test_row_count_mismatch(self, setup):
+        adjacency, _ = setup
+        with pytest.raises(ValueError, match="rows"):
+            diffuse_embeddings(adjacency, np.zeros((3, 2)))

@@ -1,0 +1,105 @@
+"""Cross-cutting edge cases not covered by the per-module suites."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.query_routing import QueryRoutingTable
+from repro.core.engine import WalkConfig, run_query
+from repro.core.forwarding import PrecomputedScorePolicy
+from repro.core.search import DiffusionSearchNetwork
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.retrieval.vector_store import DocumentStore
+from repro.runtime.gossip import AsyncDiffusionNode, EmbeddingPush, ExchangeRequest
+
+
+class TestEngineEdgeCases:
+    def test_fanout_larger_than_neighborhood(self):
+        adjacency = CompressedAdjacency.from_networkx(nx.star_graph(2))
+        result = run_query(
+            adjacency, {},
+            PrecomputedScorePolicy(np.arange(3, dtype=float)),
+            np.ones(2), 0, WalkConfig(ttl=2, fanout=10),
+        )
+        hop1 = [node for hop, node in result.visits if hop == 1]
+        assert sorted(hop1) == [1, 2]
+
+    def test_k_larger_than_total_documents(self):
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
+        store = DocumentStore(2)
+        store.add("only", np.array([1.0, 0.0]))
+        result = run_query(
+            adjacency, {0: store},
+            PrecomputedScorePolicy(np.zeros(2)),
+            np.array([1.0, 0.0]), 0, WalkConfig(ttl=2, k=10),
+        )
+        assert result.tracker.doc_ids() == ["only"]
+
+    def test_negative_relevance_scores_still_route(self):
+        """Scores can be negative (dot products); argmax still works."""
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(4))
+        result = run_query(
+            adjacency, {},
+            PrecomputedScorePolicy(np.array([-4.0, -3.0, -2.0, -1.0])),
+            np.ones(2), 0, WalkConfig(ttl=4),
+        )
+        assert result.path == [0, 1, 2, 3]
+
+
+class TestFacadeEdgeCases:
+    def test_remove_then_rediffuse_clears_signal(self):
+        net = DiffusionSearchNetwork(nx.path_graph(4), dim=2, alpha=0.5)
+        net.place_document("d", np.array([1.0, 0.0]), 1)
+        net.diffuse()
+        assert net.embeddings.max() > 0
+        net.remove_document("d")
+        net.diffuse()
+        assert np.allclose(net.embeddings, 0.0)
+
+    def test_documents_at_empty_node(self):
+        net = DiffusionSearchNetwork(nx.path_graph(3), dim=2)
+        assert net.documents_at(0) == []
+
+    def test_location_of_unknown_raises(self):
+        net = DiffusionSearchNetwork(nx.path_graph(3), dim=2)
+        with pytest.raises(KeyError):
+            net.location_of("ghost")
+
+
+class TestGossipMessages:
+    def test_exchange_request_size(self):
+        push = EmbeddingPush(np.zeros(10), degree=3)
+        request = ExchangeRequest(push)
+        assert request.size_bytes() > push.size_bytes()
+
+    def test_node_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            AsyncDiffusionNode(0, np.zeros(2), alpha=0.0)
+
+    def test_node_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            AsyncDiffusionNode(0, np.zeros(2), mode="teleport")
+
+    def test_recompute_with_empty_caches_is_teleport_term(self):
+        node = AsyncDiffusionNode(0, np.array([2.0, 4.0]), alpha=0.5)
+        node.recompute()
+        assert np.allclose(node.estimate, [1.0, 2.0])
+
+
+class TestRoutingTableCache:
+    def test_matrix_cache_invalidated_on_record(self):
+        table = QueryRoutingTable()
+        table.record(np.array([1.0, 0.0]), 1, 1.0)
+        first = table.score_neighbors(np.array([1.0, 0.0]), np.array([1]))[0]
+        table.record(np.array([1.0, 0.0]), 1, 1.0)
+        second = table.score_neighbors(np.array([1.0, 0.0]), np.array([1]))[0]
+        assert second > first  # the new entry contributes; cache refreshed
+
+    def test_eviction_keeps_cache_consistent(self):
+        table = QueryRoutingTable(capacity=1)
+        table.record(np.array([1.0, 0.0]), 1, 0.5)
+        table.score_neighbors(np.array([1.0, 0.0]), np.array([1]))
+        table.record(np.array([0.0, 1.0]), 2, 1.0)
+        scores = table.score_neighbors(np.array([0.0, 1.0]), np.array([1, 2]))
+        assert scores[0] == 0.0
+        assert scores[1] > 0.0

@@ -1,0 +1,249 @@
+"""Tests for the walk engine (Fig. 1 semantics)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.engine import SearchResult, WalkConfig, run_query
+from repro.core.forwarding import PrecomputedScorePolicy, RandomWalkPolicy
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.retrieval.vector_store import DocumentStore
+
+
+def make_store(dim, **docs):
+    store = DocumentStore(dim)
+    for doc_id, vector in docs.items():
+        store.add(doc_id, np.asarray(vector, dtype=float))
+    return store
+
+
+@pytest.fixture
+def path_adjacency():
+    return CompressedAdjacency.from_networkx(nx.path_graph(6))
+
+
+class TestWalkMechanics:
+    def test_visits_start_at_source(self, path_adjacency):
+        result = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(np.arange(6, dtype=float)),
+            np.ones(2),
+            start_node=2,
+            config=WalkConfig(ttl=3),
+        )
+        assert result.visits[0] == (0, 2)
+
+    def test_ttl_bounds_visits(self, path_adjacency):
+        """TTL t evaluates at most t nodes (source at hop 0 .. hop t−1)."""
+        scores = np.arange(6, dtype=float)  # walk greedily right
+        for ttl in (1, 2, 4):
+            result = run_query(
+                path_adjacency,
+                {},
+                PrecomputedScorePolicy(scores),
+                np.ones(2),
+                start_node=0,
+                config=WalkConfig(ttl=ttl),
+            )
+            assert len(result.visits) == min(ttl, 6)
+            assert result.hops_used == len(result.visits) - 1
+
+    def test_greedy_path_follows_scores(self, path_adjacency):
+        scores = np.arange(6, dtype=float)
+        result = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=6),
+        )
+        assert result.path == [0, 1, 2, 3, 4, 5]
+
+    def test_memory_prevents_immediate_backtrack(self, path_adjacency):
+        """In the middle of a path, the walk cannot bounce straight back."""
+        scores = np.array([100.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        result = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(2),
+            start_node=2,
+            config=WalkConfig(ttl=3),
+        )
+        # From 2 the best neighbor is 1 (score 0 vs 0, tie -> smaller id),
+        # from 1 candidates exclude 2 (just interacted) so it must go to 0.
+        assert result.path == [2, 1, 0]
+
+    def test_fallback_when_all_neighbors_visited(self):
+        """Footnote 9: a dead-ended walk reconsiders all neighbors."""
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
+        result = run_query(
+            adjacency,
+            {},
+            PrecomputedScorePolicy(np.zeros(2)),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=5),
+        )
+        # only one edge: the walk has to bounce 0-1-0-1-0
+        assert result.path == [0, 1, 0, 1, 0]
+
+    def test_isolated_node_stops(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        adjacency = CompressedAdjacency.from_networkx(graph)
+        result = run_query(
+            adjacency,
+            {},
+            RandomWalkPolicy(),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=5),
+        )
+        assert result.path == [0]
+        assert result.messages == 0
+
+    def test_messages_equal_forwards(self, path_adjacency):
+        result = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(np.arange(6, dtype=float)),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=4),
+        )
+        assert result.messages == len(result.visits) - 1
+
+    def test_invalid_start_rejected(self, path_adjacency):
+        with pytest.raises(ValueError):
+            run_query(
+                path_adjacency, {}, RandomWalkPolicy(), np.ones(2), start_node=99
+            )
+
+
+class TestDocumentCollection:
+    def test_collects_local_documents(self, path_adjacency):
+        stores = {
+            0: make_store(2, near=[1.0, 0.0]),
+            2: make_store(2, far=[0.9, 0.0]),
+        }
+        result = run_query(
+            path_adjacency,
+            stores,
+            PrecomputedScorePolicy(np.arange(6, dtype=float)),
+            np.array([1.0, 0.0]),
+            start_node=0,
+            config=WalkConfig(ttl=3, k=2),
+        )
+        assert result.found("near")
+        assert result.found("far")
+        assert result.hops_to("near") == 0
+        assert result.hops_to("far") == 2
+
+    def test_top1_keeps_only_best(self, path_adjacency):
+        stores = {
+            0: make_store(2, weak=[0.1, 0.0]),
+            1: make_store(2, strong=[1.0, 0.0]),
+        }
+        result = run_query(
+            path_adjacency,
+            stores,
+            PrecomputedScorePolicy(np.arange(6, dtype=float)),
+            np.array([1.0, 0.0]),
+            start_node=0,
+            config=WalkConfig(ttl=2, k=1),
+        )
+        assert result.found("strong", top=1)
+        assert not result.found("weak")
+        assert result.best.doc_id == "strong"
+
+    def test_found_top_parameter(self, path_adjacency):
+        stores = {0: make_store(2, a=[1.0, 0.0], b=[0.5, 0.0])}
+        result = run_query(
+            path_adjacency,
+            stores,
+            RandomWalkPolicy(),
+            np.array([1.0, 0.0]),
+            start_node=0,
+            config=WalkConfig(ttl=1, k=2),
+        )
+        assert result.found("b")
+        assert not result.found("b", top=1)
+
+    def test_discovery_hop_is_first_visit(self):
+        """Re-visiting a node does not overwrite the discovery hop."""
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
+        stores = {0: make_store(2, doc=[1.0, 0.0])}
+        result = run_query(
+            adjacency,
+            stores,
+            PrecomputedScorePolicy(np.zeros(2)),
+            np.array([1.0, 0.0]),
+            start_node=0,
+            config=WalkConfig(ttl=5, k=1),
+        )
+        assert result.path == [0, 1, 0, 1, 0]
+        assert result.hops_to("doc") == 0
+
+    def test_hops_to_unknown_document(self, path_adjacency):
+        result = run_query(
+            path_adjacency, {}, RandomWalkPolicy(), np.ones(2), 0
+        )
+        assert result.hops_to("ghost") is None
+
+
+class TestParallelWalks:
+    def test_fanout_spawns_walkers(self):
+        adjacency = CompressedAdjacency.from_networkx(nx.star_graph(4))
+        result = run_query(
+            adjacency,
+            {},
+            PrecomputedScorePolicy(np.array([0.0, 4.0, 3.0, 2.0, 1.0])),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=2, fanout=3),
+        )
+        # source + the 3 best-scoring leaves
+        assert result.visits[0] == (0, 0)
+        visited_leaves = {node for hop, node in result.visits if hop == 1}
+        assert visited_leaves == {1, 2, 3}
+
+    def test_fanout_finds_more(self, small_world_adjacency):
+        """Parallel walks dominate a single walk on the same instance."""
+        rng = np.random.default_rng(0)
+        n = small_world_adjacency.n_nodes
+        scores = rng.standard_normal(n)
+        stores = {17: make_store(4, gold=[1.0, 0.0, 0.0, 0.0])}
+        query = np.array([1.0, 0.0, 0.0, 0.0])
+        single = run_query(
+            small_world_adjacency, stores, PrecomputedScorePolicy(scores),
+            query, 3, WalkConfig(ttl=10, fanout=1),
+        )
+        parallel = run_query(
+            small_world_adjacency, stores, PrecomputedScorePolicy(scores),
+            query, 3, WalkConfig(ttl=10, fanout=3),
+        )
+        assert parallel.unique_nodes_visited >= single.unique_nodes_visited
+        assert parallel.messages >= single.messages
+
+
+class TestSearchResultProperties:
+    def test_empty_result_defaults(self, path_adjacency):
+        result = run_query(
+            path_adjacency, {}, RandomWalkPolicy(), np.ones(2), 0,
+            WalkConfig(ttl=1),
+        )
+        assert result.results == []
+        assert result.best is None
+        assert result.hops_used == 0
+        assert result.unique_nodes_visited == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WalkConfig(ttl=0)
+        with pytest.raises(ValueError):
+            WalkConfig(fanout=0)
+        with pytest.raises(ValueError):
+            WalkConfig(k=0)

@@ -1,0 +1,128 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.runtime.events import EventQueue
+
+
+class TestScheduling:
+    def test_fifo_at_equal_time(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1.0, lambda: log.append("a"))
+        queue.schedule(1.0, lambda: log.append("b"))
+        queue.schedule(1.0, lambda: log.append("c"))
+        queue.run()
+        assert log == ["a", "b", "c"]
+
+    def test_time_ordering(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(3.0, lambda: log.append(3))
+        queue.schedule(1.0, lambda: log.append(1))
+        queue.schedule(2.0, lambda: log.append(2))
+        queue.run()
+        assert log == [1, 2, 3]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(2.5, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [2.5]
+
+    def test_schedule_relative_to_now(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(1.0, lambda: queue.schedule(1.0, lambda: times.append(queue.now)))
+        queue.run()
+        assert times == [2.0]
+
+    def test_schedule_at_absolute(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule_at(5.0, lambda: log.append(queue.now))
+        queue.run()
+        assert log == [5.0]
+
+    def test_schedule_in_past_raises(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run()
+        with pytest.raises(ValueError, match="past"):
+            queue.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        log = []
+        event = queue.schedule(1.0, lambda: log.append("cancelled"))
+        queue.schedule(2.0, lambda: log.append("kept"))
+        event.cancel()
+        queue.run()
+        assert log == ["kept"]
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+
+class TestRunLimits:
+    def test_until_stops_before_later_events(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1.0, lambda: log.append(1))
+        queue.schedule(5.0, lambda: log.append(5))
+        dispatched = queue.run(until=2.0)
+        assert dispatched == 1
+        assert log == [1]
+        assert queue.now == 2.0  # clock advanced to the horizon
+
+    def test_until_resume(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1.0, lambda: log.append(1))
+        queue.schedule(5.0, lambda: log.append(5))
+        queue.run(until=2.0)
+        queue.run()
+        assert log == [1, 5]
+
+    def test_max_events(self):
+        queue = EventQueue()
+        log = []
+        for i in range(5):
+            queue.schedule(float(i), lambda i=i: log.append(i))
+        assert queue.run(max_events=3) == 3
+        assert log == [0, 1, 2]
+
+    def test_dispatched_counter(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.run()
+        assert queue.dispatched == 2
+
+    def test_step_on_empty_returns_false(self):
+        assert EventQueue().step() is False
+
+    def test_events_scheduled_during_run_execute(self):
+        queue = EventQueue()
+        log = []
+
+        def chain(depth):
+            log.append(depth)
+            if depth < 3:
+                queue.schedule(1.0, lambda: chain(depth + 1))
+
+        queue.schedule(0.0, lambda: chain(0))
+        queue.run()
+        assert log == [0, 1, 2, 3]

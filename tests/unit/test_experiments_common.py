@@ -1,0 +1,69 @@
+"""Tests for the shared experiment environment."""
+
+import pytest
+
+from repro.experiments.common import (
+    ENV_FULL,
+    FULL_GRAPH,
+    SCALED_GRAPH,
+    full_requested,
+    get_environment,
+    resolve_full,
+)
+
+
+class TestConfigs:
+    def test_full_graph_matches_paper(self):
+        assert FULL_GRAPH.n_nodes == 4039
+        assert FULL_GRAPH.target_edges == 88234
+        assert FULL_GRAPH.n_egos == 10
+
+    def test_scaled_graph_preserves_density(self):
+        full_density = FULL_GRAPH.target_edges / FULL_GRAPH.n_nodes
+        scaled_density = SCALED_GRAPH.target_edges / SCALED_GRAPH.n_nodes
+        assert scaled_density == pytest.approx(full_density, rel=0.05)
+
+
+class TestEnvFlag:
+    def test_full_requested_reads_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_FULL, raising=False)
+        assert not full_requested()
+        monkeypatch.setenv(ENV_FULL, "1")
+        assert full_requested()
+        monkeypatch.setenv(ENV_FULL, "0")
+        assert not full_requested()
+
+    def test_resolve_full_combines(self, monkeypatch):
+        monkeypatch.delenv(ENV_FULL, raising=False)
+        assert resolve_full(True)
+        assert not resolve_full(False)
+        assert not resolve_full(None)
+        monkeypatch.setenv(ENV_FULL, "yes")
+        assert resolve_full(None)
+        assert resolve_full(False)  # env var wins over an absent CLI flag
+
+
+class TestEnvironmentBuild:
+    def test_scaled_environment_consistent(self):
+        env = get_environment(False)
+        assert env.n_nodes == SCALED_GRAPH.n_nodes
+        assert env.adjacency.n_edges == SCALED_GRAPH.target_edges
+        assert env.model.dim == 300
+        # pool large enough for the biggest experiment (M = 10000)
+        assert len(env.workload.irrelevant_pool) >= 10_000
+        assert env.label == "scaled"
+
+    def test_environment_cached(self):
+        assert get_environment(False) is get_environment(False)
+
+    @pytest.mark.slow
+    def test_full_environment_matches_paper_setup(self):
+        """The --full configuration reproduces §V-A/§V-B exactly."""
+        env = get_environment(True)
+        assert env.n_nodes == 4039
+        assert env.adjacency.n_edges == 88234
+        assert env.model.dim == 300
+        assert env.workload.n_queries == 1000
+        assert env.workload.threshold == 0.6
+        # the irrelevant pool covers the largest experiment (M = 10000)
+        assert len(env.workload.irrelevant_pool) >= 10_000

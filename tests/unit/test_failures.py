@@ -1,0 +1,96 @@
+"""Failure injection: message loss in the simulated network."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.gsp.filters import PersonalizedPageRank
+from repro.gsp.normalization import transition_matrix
+from repro.runtime.gossip import AsyncPPRDiffusion
+from repro.runtime.network import LatencyModel, SimNetwork
+from repro.runtime.node import SimNode
+
+
+class Counter(SimNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = 0
+
+    def on_message(self, src, message):
+        self.received += 1
+
+
+class TestLossInjection:
+    def _network(self, loss):
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
+        net = SimNetwork(
+            adjacency, latency=LatencyModel(1.0, 0.0), loss_probability=loss, seed=0
+        )
+        nodes = [Counter(0), Counter(1)]
+        net.attach_all(nodes)
+        net.start()
+        return net, nodes
+
+    def test_zero_loss_delivers_all(self):
+        net, nodes = self._network(0.0)
+        for _ in range(50):
+            nodes[0].send(1, "x")
+        net.run()
+        assert nodes[1].received == 50
+        assert net.stats.dropped == 0
+
+    def test_half_loss_drops_roughly_half(self):
+        net, nodes = self._network(0.5)
+        for _ in range(400):
+            nodes[0].send(1, "x")
+        net.run()
+        assert 120 < nodes[1].received < 280
+        assert net.stats.dropped == 400 - nodes[1].received
+
+    def test_dropped_still_counted_as_sent(self):
+        net, nodes = self._network(0.5)
+        for _ in range(100):
+            nodes[0].send(1, "x")
+        net.run()
+        assert net.stats.messages == 100
+
+    def test_invalid_loss_rejected(self):
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
+        with pytest.raises(ValueError):
+            SimNetwork(adjacency, loss_probability=1.0)
+        with pytest.raises(ValueError):
+            SimNetwork(adjacency, loss_probability=-0.1)
+
+
+class TestDiffusionUnderLoss:
+    def test_periodic_mode_converges_despite_loss(self):
+        """Periodic gossip retransmits, so loss only delays convergence."""
+        adjacency = CompressedAdjacency.from_networkx(nx.cycle_graph(10))
+        rng = np.random.default_rng(4)
+        personalization = rng.standard_normal((10, 3))
+        diffusion = AsyncPPRDiffusion(
+            adjacency,
+            personalization,
+            alpha=0.5,
+            tol=1e-9,
+            mode="periodic",
+            period=1.0,
+            loss_probability=0.2,
+            seed=5,
+        )
+        outcome = diffusion.run(until=400.0)
+        operator = transition_matrix(adjacency, "column")
+        reference = PersonalizedPageRank(0.5, method="solve").apply(
+            operator, personalization
+        )
+        assert np.max(np.abs(outcome.embeddings - reference)) < 5e-2
+        assert diffusion.network.stats.dropped > 0
+
+    def test_push_mode_with_loss_rejected(self):
+        """Push mode has no retransmission; the constructor refuses loss."""
+        adjacency = CompressedAdjacency.from_networkx(nx.cycle_graph(6))
+        with pytest.raises(ValueError, match="stall"):
+            AsyncPPRDiffusion(
+                adjacency, np.zeros((6, 2)), mode="push", loss_probability=0.1
+            )

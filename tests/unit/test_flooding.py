@@ -1,0 +1,86 @@
+"""Tests for the flooding baseline."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.flooding import flood_query
+from repro.core.engine import WalkConfig
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.retrieval.vector_store import DocumentStore
+
+
+def store_with(dim, **docs):
+    store = DocumentStore(dim)
+    for doc_id, vec in docs.items():
+        store.add(doc_id, np.asarray(vec, dtype=float))
+    return store
+
+
+@pytest.fixture
+def star():
+    return CompressedAdjacency.from_networkx(nx.star_graph(5))
+
+
+class TestCoverage:
+    def test_ttl1_visits_only_source(self, star):
+        result = flood_query(star, {}, np.ones(2), 0, WalkConfig(ttl=1))
+        assert result.path == [0]
+        assert result.messages == 0
+
+    def test_ttl2_visits_whole_star(self, star):
+        result = flood_query(star, {}, np.ones(2), 0, WalkConfig(ttl=2))
+        assert result.unique_nodes_visited == 6
+        assert result.messages == 5
+
+    def test_covers_ball_of_radius_ttl_minus_1(self, grid_adjacency):
+        from repro.graphs.metrics import bfs_distances
+
+        ttl = 4
+        result = flood_query(grid_adjacency, {}, np.ones(2), 24, WalkConfig(ttl=ttl))
+        distances = bfs_distances(grid_adjacency, 24)
+        expected = set(np.flatnonzero(distances <= ttl - 1))
+        assert {node for _, node in result.visits} == expected
+
+    def test_hop_labels_match_bfs(self, grid_adjacency):
+        from repro.graphs.metrics import bfs_distances
+
+        result = flood_query(grid_adjacency, {}, np.ones(2), 0, WalkConfig(ttl=5))
+        distances = bfs_distances(grid_adjacency, 0)
+        for hop, node in result.visits:
+            assert hop == distances[node]
+
+    def test_finds_everything_in_radius(self, grid_adjacency):
+        stores = {
+            0: store_with(2, at0=[1.0, 0.0]),
+            1: store_with(2, at1=[0.9, 0.0]),
+            48: store_with(2, far=[0.8, 0.0]),
+        }
+        result = flood_query(
+            grid_adjacency, stores, np.array([1.0, 0.0]), 0, WalkConfig(ttl=3, k=5)
+        )
+        assert result.found("at0") and result.found("at1")
+        assert not result.found("far")  # outside the radius
+
+
+class TestBudget:
+    def test_message_budget_caps_flood(self, star):
+        result = flood_query(
+            star, {}, np.ones(2), 0, WalkConfig(ttl=3), max_messages=2
+        )
+        assert result.messages == 2
+        assert result.unique_nodes_visited == 3  # source + 2 reached leaves
+
+    def test_messages_count_duplicates(self):
+        """Flooding pays for duplicate deliveries (triangle: 2 copies cross)."""
+        adjacency = CompressedAdjacency.from_networkx(nx.complete_graph(3))
+        result = flood_query(adjacency, {}, np.ones(2), 0, WalkConfig(ttl=3))
+        # hop 1: source sends 2; hop 2: each of 1, 2 forwards to the other
+        assert result.messages == 4
+        assert result.unique_nodes_visited == 3
+
+
+class TestValidation:
+    def test_invalid_start(self, star):
+        with pytest.raises(ValueError):
+            flood_query(star, {}, np.ones(2), 99)

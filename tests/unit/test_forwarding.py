@@ -1,0 +1,150 @@
+"""Tests for forwarding policies (§IV-C next-hop selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.forwarding import (
+    DegreeBiasedPolicy,
+    EmbeddingGuidedPolicy,
+    PrecomputedScorePolicy,
+    RandomWalkPolicy,
+)
+from repro.graphs.adjacency import CompressedAdjacency
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def embeddings():
+    # node i's embedding is i * e1 + noise-free structure for predictability
+    return np.array(
+        [
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [2.0, 0.0],
+            [0.0, 3.0],
+            [0.5, 0.5],
+        ]
+    )
+
+
+class TestEmbeddingGuided:
+    def test_argmax_selection(self, embeddings, rng):
+        policy = EmbeddingGuidedPolicy(embeddings)
+        query = np.array([1.0, 0.0])
+        chosen = policy.select(query, np.array([0, 1, 2, 3]), 1, rng)
+        assert list(chosen) == [2]
+
+    def test_query_direction_matters(self, embeddings, rng):
+        policy = EmbeddingGuidedPolicy(embeddings)
+        query = np.array([0.0, 1.0])
+        chosen = policy.select(query, np.array([0, 1, 2, 3]), 1, rng)
+        assert list(chosen) == [3]
+
+    def test_fanout_top_k(self, embeddings, rng):
+        policy = EmbeddingGuidedPolicy(embeddings)
+        query = np.array([1.0, 0.0])
+        chosen = policy.select(query, np.array([0, 1, 2, 4]), 2, rng)
+        assert list(chosen) == [2, 1]
+
+    def test_ties_broken_by_candidate_order(self, rng):
+        tied = np.zeros((4, 2))
+        policy = EmbeddingGuidedPolicy(tied)
+        chosen = policy.select(np.ones(2), np.array([2, 3]), 1, rng)
+        assert list(chosen) == [2]
+
+    def test_empty_candidates(self, embeddings, rng):
+        policy = EmbeddingGuidedPolicy(embeddings)
+        out = policy.select(np.ones(2), np.array([], dtype=np.int64), 1, rng)
+        assert out.size == 0
+
+    def test_scores_helper(self, embeddings):
+        policy = EmbeddingGuidedPolicy(embeddings)
+        scores = policy.scores(np.array([1.0, 1.0]), np.array([3, 4]))
+        assert np.allclose(scores, [3.0, 1.0])
+
+    def test_temperature_sampling_varies(self, embeddings):
+        policy = EmbeddingGuidedPolicy(embeddings, temperature=5.0)
+        query = np.array([1.0, 0.0])
+        rng = np.random.default_rng(1)
+        draws = {
+            int(policy.select(query, np.array([0, 1, 2, 3]), 1, rng)[0])
+            for _ in range(50)
+        }
+        assert len(draws) > 1  # exploration actually explores
+
+    def test_zero_temperature_deterministic(self, embeddings):
+        policy = EmbeddingGuidedPolicy(embeddings)
+        query = np.array([1.0, 0.0])
+        out = [
+            list(policy.select(query, np.array([0, 1, 2]), 1, np.random.default_rng(s)))
+            for s in range(5)
+        ]
+        assert all(o == out[0] for o in out)
+
+    def test_negative_temperature_rejected(self, embeddings):
+        with pytest.raises(ValueError):
+            EmbeddingGuidedPolicy(embeddings, temperature=-1.0)
+
+    def test_describe(self, embeddings):
+        assert "embedding-guided" in EmbeddingGuidedPolicy(embeddings).describe()
+
+
+class TestPrecomputedScore:
+    def test_matches_embedding_guided(self, embeddings, rng):
+        """The linearity fast path: scores = E @ q gives identical selections."""
+        query = np.array([0.7, -0.2])
+        guided = EmbeddingGuidedPolicy(embeddings)
+        precomputed = PrecomputedScorePolicy(embeddings @ query)
+        candidates = np.array([0, 1, 2, 3, 4])
+        for fanout in (1, 2, 3):
+            a = guided.select(query, candidates, fanout, rng)
+            b = precomputed.select(query, candidates, fanout, rng)
+            assert np.array_equal(a, b)
+
+    def test_rejects_matrix_scores(self):
+        with pytest.raises(ValueError):
+            PrecomputedScorePolicy(np.zeros((2, 2)))
+
+
+class TestRandomWalk:
+    def test_uniform_coverage(self):
+        policy = RandomWalkPolicy()
+        rng = np.random.default_rng(2)
+        counts = {1: 0, 2: 0, 3: 0}
+        for _ in range(600):
+            chosen = policy.select(np.zeros(2), np.array([1, 2, 3]), 1, rng)
+            counts[int(chosen[0])] += 1
+        for count in counts.values():
+            assert 120 <= count <= 280  # roughly uniform
+
+    def test_fanout_without_replacement(self):
+        policy = RandomWalkPolicy()
+        rng = np.random.default_rng(3)
+        chosen = policy.select(np.zeros(2), np.array([1, 2, 3]), 3, rng)
+        assert sorted(chosen) == [1, 2, 3]
+
+    def test_fanout_capped_at_candidates(self):
+        policy = RandomWalkPolicy()
+        rng = np.random.default_rng(4)
+        chosen = policy.select(np.zeros(2), np.array([5]), 4, rng)
+        assert list(chosen) == [5]
+
+
+class TestDegreeBiased:
+    def test_prefers_hub(self, rng):
+        import networkx as nx
+
+        adjacency = CompressedAdjacency.from_networkx(nx.star_graph(4))
+        policy = DegreeBiasedPolicy(adjacency)
+        chosen = policy.select(np.zeros(2), np.array([0, 1, 2]), 1, rng)
+        assert list(chosen) == [0]  # the hub
+
+    def test_describe(self):
+        import networkx as nx
+
+        adjacency = CompressedAdjacency.from_networkx(nx.star_graph(2))
+        assert DegreeBiasedPolicy(adjacency).describe() == "degree-biased"

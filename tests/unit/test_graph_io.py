@@ -1,0 +1,81 @@
+"""Tests for SNAP edge-list I/O."""
+
+import gzip
+
+import networkx as nx
+import pytest
+
+from repro.graphs.io import load_snap_edge_list, save_snap_edge_list
+
+
+class TestLoad:
+    def test_basic_file(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n0 1\n1 2\n\n2 3\n")
+        graph = load_snap_edge_list(path)
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 3
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 0\n0 1\n")
+        graph = load_snap_edge_list(path)
+        assert graph.number_of_edges() == 1
+
+    def test_relabeling_compacts_ids(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("10 20\n20 30\n")
+        graph = load_snap_edge_list(path)
+        assert set(graph.nodes()) == {0, 1, 2}
+
+    def test_no_relabel_keeps_ids(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("10 20\n")
+        graph = load_snap_edge_list(path, relabel=False)
+        assert set(graph.nodes()) == {10, 20}
+
+    def test_tab_separated(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0\t1\n1\t2\n")
+        assert load_snap_edge_list(path).number_of_edges() == 2
+
+    def test_gzip(self, tmp_path):
+        path = tmp_path / "edges.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1\n1 2\n")
+        assert load_snap_edge_list(path).number_of_edges() == 2
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no edges"):
+            load_snap_edge_list(path)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="expected two"):
+            load_snap_edge_list(path)
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        graph = nx.karate_club_graph()
+        path = tmp_path / "karate.txt"
+        save_snap_edge_list(graph, path, header="karate club")
+        loaded = load_snap_edge_list(path)
+        assert loaded.number_of_nodes() == graph.number_of_nodes()
+        assert loaded.number_of_edges() == graph.number_of_edges()
+
+    def test_save_load_gzip(self, tmp_path):
+        graph = nx.cycle_graph(10)
+        path = tmp_path / "cycle.txt.gz"
+        save_snap_edge_list(graph, path)
+        assert load_snap_edge_list(path).number_of_edges() == 10
+
+    def test_header_written_as_comments(self, tmp_path):
+        graph = nx.path_graph(3)
+        path = tmp_path / "p.txt"
+        save_snap_edge_list(graph, path, header="line one\nline two")
+        text = path.read_text()
+        assert text.startswith("# line one\n# line two\n")

@@ -1,0 +1,126 @@
+"""Tests for the HNSW approximate nearest-neighbor index."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.similarity import l2_normalize
+from repro.retrieval.hnsw import HNSWIndex
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    vectors = l2_normalize(rng.standard_normal((300, 24)))
+    ids = [f"v{i}" for i in range(300)]
+    return ids, vectors
+
+
+@pytest.fixture(scope="module")
+def index(dataset):
+    ids, vectors = dataset
+    return HNSWIndex.build(ids, vectors, m=8, ef_construction=64, seed=1)
+
+
+def exact_top_k(vectors, ids, query, k):
+    scores = vectors @ query
+    order = np.argsort(-scores)[:k]
+    return [ids[int(i)] for i in order]
+
+
+class TestBasics:
+    def test_len(self, index):
+        assert len(index) == 300
+
+    def test_self_query_returns_self(self, dataset, index):
+        ids, vectors = dataset
+        hits = index.query(vectors[42], 1, ef=64)
+        assert hits[0][0] == "v42"
+        assert hits[0][1] == pytest.approx(1.0)
+
+    def test_scores_descending(self, dataset, index):
+        _, vectors = dataset
+        hits = index.query(vectors[0], 10, ef=64)
+        scores = [s for _, s in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_respected(self, dataset, index):
+        _, vectors = dataset
+        assert len(index.query(vectors[0], 7, ef=64)) == 7
+
+    def test_empty_index(self):
+        index = HNSWIndex(8, seed=0)
+        assert index.query(np.ones(8), 3) == []
+
+    def test_single_element(self):
+        index = HNSWIndex(4, seed=0)
+        index.add("only", l2_normalize(np.ones(4)))
+        hits = index.query(l2_normalize(np.ones(4)), 3)
+        assert [h[0] for h in hits] == ["only"]
+
+    def test_wrong_dims_rejected(self):
+        index = HNSWIndex(4, seed=0)
+        with pytest.raises(ValueError):
+            index.add("x", np.ones(5))
+        index.add("x", np.ones(4))
+        with pytest.raises(ValueError):
+            index.query(np.ones(5), 1)
+
+    def test_build_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            HNSWIndex.build(["a", "b"], np.ones((1, 4)))
+
+
+class TestRecall:
+    def test_recall_at_10(self, dataset, index):
+        """With a generous beam, HNSW recall should be near-exact."""
+        ids, vectors = dataset
+        rng = np.random.default_rng(2)
+        queries = l2_normalize(rng.standard_normal((20, 24)))
+        hits = total = 0
+        for query in queries:
+            exact = set(exact_top_k(vectors, ids, query, 10))
+            approx = {h[0] for h in index.query(query, 10, ef=128)}
+            hits += len(exact & approx)
+            total += 10
+        assert hits / total >= 0.9
+
+    def test_larger_ef_no_worse(self, dataset, index):
+        ids, vectors = dataset
+        rng = np.random.default_rng(3)
+        query = l2_normalize(rng.standard_normal(24))
+        exact = set(exact_top_k(vectors, ids, query, 5))
+        small = {h[0] for h in index.query(query, 5, ef=8)}
+        large = {h[0] for h in index.query(query, 5, ef=200)}
+        assert len(large & exact) >= len(small & exact)
+
+
+class TestStructure:
+    def test_layer_degrees_bounded(self, index):
+        for node, levels in enumerate(index._neighbors):
+            for level, links in enumerate(levels):
+                limit = index.max_m0 if level == 0 else index.max_m
+                assert len(links) <= limit, f"node {node} level {level}"
+
+    def test_links_bidirectional_enough_to_navigate(self, dataset, index):
+        """Every node is reachable from the entry point at layer 0."""
+        _, vectors = dataset
+        seen = set()
+        stack = [index._entry]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for neighbor in index._neighbors[node][0]:
+                if neighbor not in seen:
+                    stack.append(neighbor)
+        # Pruning can strand a tiny number of nodes; navigability requires
+        # the overwhelming majority to stay connected.
+        assert len(seen) >= 0.99 * len(index)
+
+    def test_deterministic_given_seed(self, dataset):
+        ids, vectors = dataset
+        a = HNSWIndex.build(ids[:100], vectors[:100], seed=5)
+        b = HNSWIndex.build(ids[:100], vectors[:100], seed=5)
+        query = vectors[150]
+        assert a.query(query, 5, ef=32) == b.query(query, 5, ef=32)

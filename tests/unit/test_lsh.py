@@ -1,0 +1,102 @@
+"""Tests for the random-hyperplane LSH index."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.similarity import l2_normalize
+from repro.retrieval.lsh import LSHIndex
+
+
+@pytest.fixture(scope="module")
+def clustered_vectors():
+    """Two tight clusters on the sphere plus background noise."""
+    rng = np.random.default_rng(0)
+    center_a = l2_normalize(rng.standard_normal(32))
+    center_b = l2_normalize(rng.standard_normal(32))
+    cluster_a = l2_normalize(center_a + 0.05 * rng.standard_normal((20, 32)))
+    cluster_b = l2_normalize(center_b + 0.05 * rng.standard_normal((20, 32)))
+    noise = l2_normalize(rng.standard_normal((60, 32)))
+    vectors = np.vstack([cluster_a, cluster_b, noise])
+    ids = [f"a{i}" for i in range(20)] + [f"b{i}" for i in range(20)] + [
+        f"n{i}" for i in range(60)
+    ]
+    return ids, vectors, center_a
+
+
+class TestBasics:
+    def test_build_and_len(self, clustered_vectors):
+        ids, vectors, _ = clustered_vectors
+        index = LSHIndex.build(ids, vectors, seed=1)
+        assert len(index) == 100
+
+    def test_query_returns_cluster_members(self, clustered_vectors):
+        ids, vectors, center_a = clustered_vectors
+        index = LSHIndex.build(ids, vectors, n_planes=8, n_tables=10, seed=1)
+        hits = index.query(center_a, 5)
+        assert hits, "high-recall config should return candidates"
+        assert all(item_id.startswith("a") for item_id, _ in hits)
+
+    def test_scores_descending(self, clustered_vectors):
+        ids, vectors, center_a = clustered_vectors
+        index = LSHIndex.build(ids, vectors, seed=2)
+        hits = index.query(center_a, 10)
+        scores = [s for _, s in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_index_query(self):
+        index = LSHIndex(8, seed=0)
+        assert index.query(np.ones(8), 3) == []
+
+    def test_wrong_dim_rejected(self):
+        index = LSHIndex(8, seed=0)
+        with pytest.raises(ValueError):
+            index.add("x", np.ones(9))
+
+    def test_build_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            LSHIndex.build(["a"], np.ones((2, 4)))
+
+    def test_too_many_planes_rejected(self):
+        with pytest.raises(ValueError, match="62"):
+            LSHIndex(8, n_planes=63)
+
+
+class TestRecall:
+    def test_high_recall_with_many_tables(self, clustered_vectors):
+        # Queries near the stored clusters: their true nearest neighbors have
+        # high cosine, the regime LSH is designed for (random directions have
+        # no meaningful neighbors to recall).
+        ids, vectors, _ = clustered_vectors
+        index = LSHIndex.build(ids, vectors, n_planes=8, n_tables=16, seed=3)
+        rng = np.random.default_rng(4)
+        queries = l2_normalize(
+            vectors[[0, 5, 12, 22, 27, 33]] + 0.05 * rng.standard_normal((6, 32))
+        )
+        recall = index.recall_against_exact(queries, k=3)
+        assert recall >= 0.6
+
+    def test_more_tables_never_fewer_candidates(self, clustered_vectors):
+        ids, vectors, center_a = clustered_vectors
+        few = LSHIndex.build(ids, vectors, n_planes=10, n_tables=2, seed=5)
+        many = LSHIndex.build(ids, vectors, n_planes=10, n_tables=12, seed=5)
+        # same seed: the first 2 tables of `many` equal `few`'s tables
+        assert many.candidates(center_a).size >= few.candidates(center_a).size
+
+    def test_identical_vector_always_found(self, clustered_vectors):
+        """A vector collides with itself in every table."""
+        ids, vectors, _ = clustered_vectors
+        index = LSHIndex.build(ids, vectors, seed=6)
+        hits = index.query(vectors[7], 1)
+        assert hits[0][0] == ids[7]
+
+    def test_recall_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            LSHIndex(4, seed=0).recall_against_exact(np.ones((1, 4)), 1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_hashes(self, clustered_vectors):
+        ids, vectors, center_a = clustered_vectors
+        a = LSHIndex.build(ids, vectors, seed=9)
+        b = LSHIndex.build(ids, vectors, seed=9)
+        assert np.array_equal(a.candidates(center_a), b.candidates(center_a))

@@ -1,0 +1,86 @@
+"""Tests for repro.gsp.normalization."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.gsp.normalization import adjacency_matrix, transition_matrix
+
+
+@pytest.fixture
+def star() -> nx.Graph:
+    return nx.star_graph(3)  # hub 0 with leaves 1..3
+
+
+class TestAdjacencyMatrix:
+    def test_from_networkx(self, star):
+        mat = adjacency_matrix(star)
+        assert mat.shape == (4, 4)
+        assert mat.sum() == 6  # 3 undirected edges
+
+    def test_from_compressed(self, star):
+        adj = CompressedAdjacency.from_networkx(star)
+        assert np.allclose(
+            adjacency_matrix(adj).toarray(), adjacency_matrix(star).toarray()
+        )
+
+    def test_from_dense_array(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert np.allclose(adjacency_matrix(dense).toarray(), dense)
+
+    def test_from_sparse_passthrough(self):
+        mat = sp.csr_matrix(np.array([[0.0, 2.0], [2.0, 0.0]]))
+        out = adjacency_matrix(mat)
+        assert np.allclose(out.toarray(), mat.toarray())
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            adjacency_matrix(np.zeros((2, 3)))
+
+
+class TestTransitionMatrix:
+    def test_column_stochastic(self, star):
+        mat = transition_matrix(star, "column")
+        assert np.allclose(np.asarray(mat.sum(axis=0)).ravel(), 1.0)
+
+    def test_row_stochastic(self, star):
+        mat = transition_matrix(star, "row")
+        assert np.allclose(np.asarray(mat.sum(axis=1)).ravel(), 1.0)
+
+    def test_column_entries_are_inverse_source_degree(self, star):
+        mat = transition_matrix(star, "column").toarray()
+        # hub (node 0) has degree 3: each leaf receives 1/3 from it
+        assert mat[1, 0] == pytest.approx(1 / 3)
+        # leaves have degree 1: the hub receives 1 from each leaf
+        assert mat[0, 1] == pytest.approx(1.0)
+
+    def test_symmetric_normalization(self, star):
+        mat = transition_matrix(star, "symmetric").toarray()
+        assert np.allclose(mat, mat.T)
+        # entry (0,1) = 1/sqrt(3 * 1)
+        assert mat[0, 1] == pytest.approx(1 / np.sqrt(3))
+
+    def test_symmetric_spectrum_bounded(self, small_world_adjacency):
+        mat = transition_matrix(small_world_adjacency, "symmetric").toarray()
+        eigenvalues = np.linalg.eigvalsh(mat)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+        assert eigenvalues.min() >= -1.0 - 1e-9
+
+    def test_isolated_node_zero_column(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1, 2])
+        graph.add_edge(0, 1)
+        mat = transition_matrix(graph, "column").toarray()
+        assert np.allclose(mat[:, 2], 0.0)
+        assert np.allclose(mat[2, :], 0.0)
+
+    def test_unknown_kind_rejected(self, star):
+        with pytest.raises(ValueError, match="unknown normalization"):
+            transition_matrix(star, "spectral")
+
+    def test_row_equals_column_transpose_for_undirected(self, small_world_adjacency):
+        col = transition_matrix(small_world_adjacency, "column").toarray()
+        row = transition_matrix(small_world_adjacency, "row").toarray()
+        assert np.allclose(col, row.T)

@@ -1,0 +1,86 @@
+"""Tests for advertisement overhead accounting."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.simulation.overhead import (
+    diffusion_overhead,
+    full_replication_overhead,
+    khop_index_overhead,
+    measured_diffusion_overhead,
+    overhead_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    return CompressedAdjacency.from_networkx(
+        nx.connected_watts_strogatz_graph(60, 6, 0.2, seed=1)
+    )
+
+
+class TestDiffusionOverhead:
+    def test_storage_scales_with_dim_and_degree(self, adjacency):
+        small = diffusion_overhead(adjacency, dim=50)
+        large = diffusion_overhead(adjacency, dim=300)
+        assert large.storage_per_node_bytes == pytest.approx(
+            6 * small.storage_per_node_bytes, rel=0.25
+        )
+
+    def test_traffic_grows_with_heavier_diffusion(self, adjacency):
+        heavy = diffusion_overhead(adjacency, dim=100, alpha=0.1)
+        light = diffusion_overhead(adjacency, dim=100, alpha=0.9)
+        assert heavy.total_traffic_bytes > light.total_traffic_bytes
+
+    def test_measured_close_to_estimate_order(self, adjacency):
+        """The protocol's real traffic lands within ~10x of the bound."""
+        estimate = diffusion_overhead(adjacency, dim=8, alpha=0.5, tol=1e-6)
+        measured = measured_diffusion_overhead(
+            adjacency, dim=8, alpha=0.5, tol=1e-6, seed=0
+        )
+        ratio = measured.total_traffic_bytes / estimate.total_traffic_bytes
+        assert 0.1 < ratio < 10.0
+
+
+class TestKHopOverhead:
+    def test_storage_grows_with_radius(self, adjacency):
+        one = khop_index_overhead(adjacency, radius=1, documents_per_node=3)
+        two = khop_index_overhead(adjacency, radius=2, documents_per_node=3)
+        assert two.storage_per_node_bytes > one.storage_per_node_bytes
+
+    def test_radius_one_matches_mean_degree(self, adjacency):
+        report = khop_index_overhead(
+            adjacency, radius=1, documents_per_node=1, id_bytes=1.0,
+            sample_sources=None,
+        )
+        mean_degree = float(adjacency.degrees.mean())
+        assert report.storage_per_node_bytes == pytest.approx(mean_degree, rel=1e-6)
+
+    def test_full_graph_radius_equals_replication_storage(self, adjacency):
+        big = khop_index_overhead(
+            adjacency, radius=100, documents_per_node=2, sample_sources=None
+        )
+        replication = full_replication_overhead(adjacency, documents_per_node=2)
+        assert big.storage_per_node_bytes == pytest.approx(
+            replication.storage_per_node_bytes, rel=1e-6
+        )
+
+
+class TestComparison:
+    def test_table_has_all_schemes(self, adjacency):
+        rows = overhead_comparison(adjacency, dim=100, radii=(1, 2))
+        schemes = [row["scheme"] for row in rows]
+        assert "diffusion (estimate)" in schemes
+        assert "1-hop index" in schemes
+        assert "2-hop index" in schemes
+        assert "full replication" in schemes
+
+    def test_replication_dominates_storage(self, adjacency):
+        rows = overhead_comparison(adjacency, dim=100, documents_per_node=5)
+        by_scheme = {row["scheme"]: row for row in rows}
+        assert (
+            by_scheme["full replication"]["storage/node (KiB)"]
+            >= by_scheme["1-hop index"]["storage/node (KiB)"]
+        )

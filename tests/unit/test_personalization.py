@@ -1,0 +1,98 @@
+"""Tests for node personalization vectors (paper §IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.personalization import personalization_matrix, personalization_vector
+from repro.retrieval.vector_store import DocumentStore
+
+
+@pytest.fixture
+def docs():
+    return np.array([[1.0, 0.0], [0.0, 2.0], [1.0, 2.0]])
+
+
+class TestPersonalizationVector:
+    def test_sum_is_paper_definition(self, docs):
+        assert np.allclose(personalization_vector(docs, "sum"), [2.0, 4.0])
+
+    def test_linearity_property_eq3(self, docs):
+        """eq. 3: the query score of the sum equals the summed doc scores."""
+        query = np.array([0.3, -0.7])
+        e0 = personalization_vector(docs, "sum")
+        assert np.isclose(e0 @ query, (docs @ query).sum())
+
+    def test_mean(self, docs):
+        assert np.allclose(personalization_vector(docs, "mean"), [2 / 3, 4 / 3])
+
+    def test_sqrt(self, docs):
+        expected = np.array([2.0, 4.0]) / np.sqrt(3)
+        assert np.allclose(personalization_vector(docs, "sqrt"), expected)
+
+    def test_l2_unit_norm(self, docs):
+        out = personalization_vector(docs, "l2")
+        assert np.isclose(np.linalg.norm(out), 1.0)
+
+    def test_single_document_all_weightings_agree_up_to_scale(self):
+        doc = np.array([[3.0, 4.0]])
+        sum_v = personalization_vector(doc, "sum")
+        mean_v = personalization_vector(doc, "mean")
+        sqrt_v = personalization_vector(doc, "sqrt")
+        assert np.allclose(sum_v, mean_v)
+        assert np.allclose(sum_v, sqrt_v)
+
+    def test_1d_input_treated_as_single_doc(self):
+        out = personalization_vector(np.array([1.0, 2.0]), "sum")
+        assert np.allclose(out, [1.0, 2.0])
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            personalization_vector(np.empty((0, 3)), "sum")
+
+    def test_unknown_weighting(self, docs):
+        with pytest.raises(ValueError, match="unknown weighting"):
+            personalization_vector(docs, "idf")
+
+    def test_sum_favors_large_collections(self):
+        """The size bias the paper warns about (§IV-A): many weakly relevant
+        docs can outscore one highly relevant doc under 'sum' but not 'mean'."""
+        query = np.array([1.0, 0.0])
+        relevant = np.array([[0.9, 0.1]])
+        weak = np.tile([0.2, 0.5], (10, 1))
+        sum_relevant = personalization_vector(relevant, "sum") @ query
+        sum_weak = personalization_vector(weak, "sum") @ query
+        mean_relevant = personalization_vector(relevant, "mean") @ query
+        mean_weak = personalization_vector(weak, "mean") @ query
+        assert sum_weak > sum_relevant  # the bias exists under sum
+        assert mean_relevant > mean_weak  # mean removes it
+
+
+class TestPersonalizationMatrix:
+    def test_rows_match_vector_function(self):
+        store = DocumentStore(2)
+        store.add("a", np.array([1.0, 1.0]))
+        store.add("b", np.array([2.0, 0.0]))
+        matrix = personalization_matrix({3: store}, n_nodes=5, dim=2)
+        assert np.allclose(matrix[3], [3.0, 1.0])
+
+    def test_nodes_without_documents_zero(self):
+        matrix = personalization_matrix({}, n_nodes=4, dim=3)
+        assert np.allclose(matrix, 0.0)
+        assert matrix.shape == (4, 3)
+
+    def test_empty_store_is_zero_row(self):
+        matrix = personalization_matrix({1: DocumentStore(2)}, n_nodes=2, dim=2)
+        assert np.allclose(matrix[1], 0.0)
+
+    def test_out_of_range_node_rejected(self):
+        store = DocumentStore(2)
+        store.add("a", np.ones(2))
+        with pytest.raises(ValueError, match="out of range"):
+            personalization_matrix({7: store}, n_nodes=5, dim=2)
+
+    def test_weighting_forwarded(self):
+        store = DocumentStore(2)
+        store.add("a", np.array([2.0, 0.0]))
+        store.add("b", np.array([0.0, 2.0]))
+        matrix = personalization_matrix({0: store}, n_nodes=1, dim=2, weighting="mean")
+        assert np.allclose(matrix[0], [1.0, 1.0])

@@ -1,0 +1,110 @@
+"""Tests for document placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.placement import (
+    build_stores,
+    community_correlated_placement,
+    uniform_placement,
+)
+
+
+class TestUniformPlacement:
+    def test_shape_and_range(self):
+        nodes = uniform_placement(100, 10, seed=0)
+        assert nodes.shape == (100,)
+        assert nodes.min() >= 0 and nodes.max() < 10
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            uniform_placement(50, 7, seed=3), uniform_placement(50, 7, seed=3)
+        )
+
+    def test_roughly_uniform(self):
+        nodes = uniform_placement(10_000, 10, seed=1)
+        counts = np.bincount(nodes, minlength=10)
+        assert counts.min() > 800 and counts.max() < 1200
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            uniform_placement(0, 5)
+
+
+class TestCorrelatedPlacement:
+    def test_same_cluster_same_community(self):
+        doc_clusters = np.array([0, 0, 0, 1, 1, 1])
+        node_communities = np.array([0, 0, 0, 1, 1, 1])  # two communities
+        nodes = community_correlated_placement(
+            doc_clusters, node_communities, mixing=0.0, seed=0
+        )
+        # all docs of one cluster land inside a single community
+        for cluster in (0, 1):
+            placed = nodes[doc_clusters == cluster]
+            communities = set(node_communities[placed])
+            assert len(communities) == 1
+
+    def test_unclustered_docs_place_anywhere(self):
+        doc_clusters = np.full(200, -1)
+        node_communities = np.array([0] * 5 + [1] * 5)
+        nodes = community_correlated_placement(
+            doc_clusters, node_communities, seed=1
+        )
+        assert set(node_communities[nodes]) == {0, 1}
+
+    def test_full_mixing_is_uniform_spread(self):
+        doc_clusters = np.zeros(500, dtype=int)
+        node_communities = np.array([0] * 5 + [1] * 5)
+        nodes = community_correlated_placement(
+            doc_clusters, node_communities, mixing=1.0, seed=2
+        )
+        # with mixing=1 every doc escapes: both communities get plenty
+        fractions = np.bincount(node_communities[nodes], minlength=2) / 500
+        assert fractions.min() > 0.3
+
+    def test_deterministic(self):
+        doc_clusters = np.array([0, 1, 2, 0, 1, 2])
+        node_communities = np.arange(10) % 3
+        a = community_correlated_placement(doc_clusters, node_communities, seed=5)
+        b = community_correlated_placement(doc_clusters, node_communities, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_empty_communities_rejected(self):
+        with pytest.raises(ValueError):
+            community_correlated_placement(np.zeros(3, int), np.array([], dtype=int))
+
+
+class TestBuildStores:
+    def test_groups_by_node(self):
+        doc_ids = ["a", "b", "c", "d"]
+        embeddings = np.eye(4)
+        nodes = np.array([2, 0, 2, 5])
+        stores = build_stores(doc_ids, embeddings, nodes, dim=4)
+        assert sorted(stores) == [0, 2, 5]
+        assert sorted(stores[2].doc_ids) == ["a", "c"]
+        assert stores[0].doc_ids == ["b"]
+
+    def test_embeddings_preserved(self):
+        doc_ids = ["a", "b"]
+        embeddings = np.array([[1.0, 2.0], [3.0, 4.0]])
+        nodes = np.array([1, 1])
+        stores = build_stores(doc_ids, embeddings, nodes, dim=2)
+        assert np.allclose(stores[1].embedding_of("b"), [3.0, 4.0])
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_stores(["a"], np.eye(2), np.array([0, 1]), dim=2)
+
+    def test_large_batch_matches_individual_adds(self):
+        rng = np.random.default_rng(0)
+        n = 500
+        doc_ids = [f"d{i}" for i in range(n)]
+        embeddings = rng.standard_normal((n, 8))
+        nodes = rng.integers(0, 20, size=n)
+        stores = build_stores(doc_ids, embeddings, nodes, dim=8)
+        total = sum(len(store) for store in stores.values())
+        assert total == n
+        # spot-check a few documents land on the right node with right vector
+        for i in (0, 123, 499):
+            node = int(nodes[i])
+            assert np.allclose(stores[node].embedding_of(f"d{i}"), embeddings[i])

@@ -1,0 +1,42 @@
+"""Tests for exact top-k scoring helpers."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.scoring import rank_documents, top_k_indices
+
+
+class TestTopKIndices:
+    def test_basic_order(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        assert list(top_k_indices(scores, 2)) == [1, 2]
+
+    def test_k_larger_than_n(self):
+        assert list(top_k_indices(np.array([1.0, 2.0]), 10)) == [1, 0]
+
+    def test_k_zero(self):
+        assert top_k_indices(np.array([1.0]), 0).size == 0
+
+    def test_ties_broken_by_index(self):
+        scores = np.array([1.0, 1.0, 1.0])
+        assert list(top_k_indices(scores, 2)) == [0, 1]
+
+    def test_negative_scores(self):
+        scores = np.array([-3.0, -1.0, -2.0])
+        assert list(top_k_indices(scores, 3)) == [1, 2, 0]
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_indices(np.zeros((2, 2)), 1)
+
+
+class TestRankDocuments:
+    def test_pairs_best_first(self):
+        docs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        hits = rank_documents(np.array([0.2, 0.8]), docs, 2)
+        assert hits[0] == (1, pytest.approx(0.8))
+        assert hits[1] == (0, pytest.approx(0.2))
+
+    def test_k_limits_results(self):
+        docs = np.eye(4)
+        assert len(rank_documents(np.ones(4), docs, 2)) == 2

@@ -1,0 +1,141 @@
+"""Tests for the DiffusionSearchNetwork public facade."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.search import DiffusionSearchNetwork
+
+
+@pytest.fixture
+def net():
+    graph = nx.cycle_graph(8)
+    return DiffusionSearchNetwork(graph, dim=3, alpha=0.5)
+
+
+class TestDocumentManagement:
+    def test_place_and_locate(self, net):
+        net.place_document("d1", np.array([1.0, 0.0, 0.0]), node=2)
+        assert net.location_of("d1") == 2
+        assert net.documents_at(2) == ["d1"]
+        assert net.n_documents == 1
+
+    def test_duplicate_placement_rejected(self, net):
+        net.place_document("d1", np.ones(3), node=0)
+        with pytest.raises(ValueError, match="already placed"):
+            net.place_document("d1", np.ones(3), node=1)
+
+    def test_out_of_range_node_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.place_document("d1", np.ones(3), node=50)
+
+    def test_remove_document(self, net):
+        net.place_document("d1", np.ones(3), node=2)
+        net.remove_document("d1")
+        assert net.n_documents == 0
+        assert net.documents_at(2) == []
+
+    def test_clear_documents(self, net):
+        net.place_document("a", np.ones(3), 0)
+        net.place_document("b", np.ones(3), 1)
+        net.clear_documents()
+        assert net.n_documents == 0
+
+    def test_place_documents_bulk(self, net):
+        net.place_documents(
+            [("a", np.ones(3), 0), ("b", np.ones(3), 1)]
+        )
+        assert net.n_documents == 2
+
+
+class TestDiffusionLifecycle:
+    def test_embeddings_before_diffuse_raises(self, net):
+        with pytest.raises(RuntimeError, match="diffuse"):
+            _ = net.embeddings
+
+    def test_staleness_tracking(self, net):
+        net.place_document("a", np.ones(3), 0)
+        assert net.is_stale
+        net.diffuse()
+        assert not net.is_stale
+        net.place_document("b", np.ones(3), 1)
+        assert net.is_stale
+
+    def test_personalization_matrix_shape(self, net):
+        net.place_document("a", np.array([1.0, 2.0, 3.0]), 5)
+        e0 = net.personalization()
+        assert e0.shape == (8, 3)
+        assert np.allclose(e0[5], [1.0, 2.0, 3.0])
+        assert np.allclose(e0[0], 0.0)
+
+    def test_diffuse_stores_outcome(self, net):
+        net.place_document("a", np.ones(3), 0)
+        outcome = net.diffuse()
+        assert net.last_diffusion is outcome
+        assert net.embeddings.shape == (8, 3)
+
+    def test_async_method_through_facade(self, net):
+        net.place_document("a", np.ones(3), 0)
+        sync = net.diffuse(method="solve").embeddings
+        asyn = net.diffuse(method="async", tol=1e-8, seed=0).embeddings
+        assert np.max(np.abs(sync - asyn)) < 1e-5
+
+    def test_weighting_forwarded(self):
+        graph = nx.path_graph(3)
+        sum_net = DiffusionSearchNetwork(graph, dim=2, weighting="sum")
+        mean_net = DiffusionSearchNetwork(graph, dim=2, weighting="mean")
+        for network in (sum_net, mean_net):
+            network.place_document("a", np.array([2.0, 0.0]), 0)
+            network.place_document("b", np.array([0.0, 2.0]), 0)
+        assert np.allclose(sum_net.personalization()[0], [2.0, 2.0])
+        assert np.allclose(mean_net.personalization()[0], [1.0, 1.0])
+
+
+class TestSearch:
+    def test_finds_local_document(self, net):
+        net.place_document("gold", np.array([1.0, 0.0, 0.0]), 3)
+        net.diffuse()
+        result = net.search(np.array([1.0, 0.0, 0.0]), start_node=3, ttl=1)
+        assert result.found("gold", top=1)
+        assert result.hops_to("gold") == 0
+
+    def test_finds_nearby_document(self, net):
+        net.place_document("gold", np.array([1.0, 0.0, 0.0]), 4)
+        net.diffuse()
+        result = net.search(np.array([1.0, 0.0, 0.0]), start_node=2, ttl=8)
+        assert result.found("gold", top=1)
+        assert result.hops_to("gold") == 2
+
+    def test_search_requires_diffusion(self, net):
+        net.place_document("gold", np.ones(3), 0)
+        with pytest.raises(RuntimeError):
+            net.search(np.ones(3), start_node=0)
+
+    def test_runtime_matches_engine(self, net):
+        """The event-driven protocol walks the exact same path."""
+        net.place_document("gold", np.array([1.0, 0.0, 0.0]), 5)
+        net.place_document("decoy", np.array([0.0, 1.0, 0.0]), 1)
+        net.diffuse()
+        query = np.array([1.0, 0.1, 0.0])
+        fast = net.search(query, start_node=0, ttl=6)
+        slow = net.search_on_runtime(query, start_node=0, ttl=6)
+        assert fast.path == slow.path
+        assert [d.doc_id for d in fast.results] == [d.doc_id for d in slow.results]
+        assert fast.hops_to("gold") == slow.hops_to("gold")
+
+    def test_custom_policy_injection(self, net):
+        from repro.core.forwarding import RandomWalkPolicy
+
+        net.place_document("gold", np.ones(3), 0)
+        net.diffuse()
+        result = net.search(
+            np.ones(3), start_node=0, ttl=3, policy=RandomWalkPolicy(), seed=1
+        )
+        assert result.found("gold")
+
+    def test_compressed_adjacency_constructor(self):
+        from repro.graphs.adjacency import CompressedAdjacency
+
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(4))
+        net = DiffusionSearchNetwork(adjacency, dim=2)
+        assert net.n_nodes == 4

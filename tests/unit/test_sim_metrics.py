@@ -1,0 +1,87 @@
+"""Tests for experiment metric aggregation."""
+
+import math
+
+import pytest
+
+from repro.simulation.metrics import AccuracyGrid, HopStatistics, summarize_hops
+
+
+class TestAccuracyGrid:
+    def test_record_and_accuracy(self):
+        grid = AccuracyGrid((0.5,), 3)
+        grid.record(0.5, 1, True)
+        grid.record(0.5, 1, True)
+        grid.record(0.5, 1, False)
+        assert grid.accuracy(0.5, 1) == pytest.approx(2 / 3)
+        assert grid.sample_count(0.5, 1) == 3
+
+    def test_empty_cell_nan(self):
+        grid = AccuracyGrid((0.5,), 3)
+        assert math.isnan(grid.accuracy(0.5, 0))
+
+    def test_series_covers_all_distances(self):
+        grid = AccuracyGrid((0.1,), 4)
+        grid.record(0.1, 0, True)
+        series = grid.series(0.1)
+        assert len(series) == 5
+        assert series[0] == 1.0
+
+    def test_as_rows_complete(self):
+        grid = AccuracyGrid((0.1, 0.9), 2)
+        rows = grid.as_rows()
+        assert len(rows) == 2 * 3
+        assert {row["alpha"] for row in rows} == {0.1, 0.9}
+
+    def test_merge_accumulates(self):
+        a = AccuracyGrid((0.5,), 2)
+        b = AccuracyGrid((0.5,), 2)
+        a.record(0.5, 0, True)
+        b.record(0.5, 0, False)
+        b.record(0.5, 1, True)
+        a.merge(b)
+        assert a.accuracy(0.5, 0) == 0.5
+        assert a.accuracy(0.5, 1) == 1.0
+
+    def test_merge_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyGrid((0.5,), 2).merge(AccuracyGrid((0.1,), 2))
+
+
+class TestSummarizeHops:
+    def test_basic_statistics(self):
+        stats = summarize_hops(100, [1, 3, 5, 7, 9], total_samples=10)
+        assert stats.successes == 5
+        assert stats.samples == 10
+        assert stats.success_rate == 0.5
+        assert stats.median_hops == 5.0
+        assert stats.mean_hops == 5.0
+        assert stats.std_hops == pytest.approx(math.sqrt(8.0))
+
+    def test_skewed_distribution_mean_above_median(self):
+        """The paper's signature: a few long walks drive the mean up."""
+        hops = [2, 2, 3, 3, 3, 40, 45]
+        stats = summarize_hops(10, hops, total_samples=20)
+        assert stats.mean_hops > stats.median_hops
+        assert stats.std_hops > 10
+
+    def test_no_successes_gives_nan(self):
+        stats = summarize_hops(10, [], total_samples=5)
+        assert stats.successes == 0
+        assert math.isnan(stats.median_hops)
+        assert math.isnan(stats.mean_hops)
+
+    def test_more_successes_than_samples_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_hops(10, [1, 2, 3], total_samples=2)
+
+    def test_as_row_format(self):
+        stats = summarize_hops(1000, [4, 6], total_samples=8)
+        row = stats.as_row()
+        assert row["M documents"] == 1000
+        assert row["success rate"] == "2 / 8"
+        assert row["median hops"] == 5.0
+
+    def test_zero_samples_rate_nan(self):
+        stats = HopStatistics(10, 0, 0, float("nan"), float("nan"), float("nan"))
+        assert math.isnan(stats.success_rate)

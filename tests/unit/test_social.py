@@ -1,0 +1,112 @@
+"""Tests for the Facebook-like social graph generator."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.graphs.metrics import average_clustering, estimate_diameter
+from repro.graphs.social import FacebookLikeConfig, facebook_like_graph
+
+
+@pytest.fixture(scope="module")
+def graph() -> nx.Graph:
+    return facebook_like_graph(
+        FacebookLikeConfig(n_nodes=500, target_edges=8000, n_egos=8), seed=17
+    )
+
+
+class TestBasicShape:
+    def test_node_count_exact(self, graph):
+        assert graph.number_of_nodes() == 500
+
+    def test_edge_count_exact(self, graph):
+        assert graph.number_of_edges() == 8000
+
+    def test_connected(self, graph):
+        assert nx.is_connected(graph)
+
+    def test_no_self_loops(self, graph):
+        assert nx.number_of_selfloops(graph) == 0
+
+    def test_deterministic(self):
+        config = FacebookLikeConfig(n_nodes=150, target_edges=1200, n_egos=4)
+        a = facebook_like_graph(config, seed=3)
+        b = facebook_like_graph(config, seed=3)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_seed_changes_graph(self):
+        config = FacebookLikeConfig(n_nodes=150, target_edges=1200, n_egos=4)
+        a = facebook_like_graph(config, seed=3)
+        b = facebook_like_graph(config, seed=4)
+        assert set(a.edges()) != set(b.edges())
+
+
+class TestSocialStructure:
+    def test_node_attributes(self, graph):
+        regions = nx.get_node_attributes(graph, "region")
+        hubs = [n for n, h in nx.get_node_attributes(graph, "is_hub").items() if h]
+        assert len(regions) == 500
+        assert len(hubs) == 8
+
+    def test_hubs_adjacent_to_whole_region(self, graph):
+        """Ego semantics: a hub is adjacent to every member of its region."""
+        for hub in range(8):
+            members = [
+                n
+                for n, region in nx.get_node_attributes(graph, "region").items()
+                if region == hub and n != hub
+            ]
+            for member in members:
+                assert graph.has_edge(hub, member)
+
+    def test_hubs_are_high_degree(self, graph):
+        # A hub's degree is at least its region size, so on average hubs are
+        # far above the member mean (a Dirichlet draw can make one region,
+        # hence one hub, small — compare means, not minima).
+        degrees = dict(graph.degree())
+        hub_degrees = [degrees[n] for n in range(8)]
+        non_hub = [degrees[n] for n in range(8, 500)]
+        assert np.mean(hub_degrees) > 2 * np.mean(non_hub)
+        assert max(hub_degrees) == max(degrees.values())
+
+    def test_clustering_is_social_level(self, graph):
+        adj = CompressedAdjacency.from_networkx(graph)
+        clustering = average_clustering(adj, n_samples=200, seed=0)
+        assert clustering > 0.25  # social graphs: high; G(n,p) at this density ~0.06
+
+    def test_small_world_distances(self, graph):
+        adj = CompressedAdjacency.from_networkx(graph)
+        diameter = estimate_diameter(adj, seed=0)
+        assert 3 <= diameter <= 12
+
+
+class TestCalibrationToPaper:
+    @pytest.mark.slow
+    def test_default_config_matches_ego_facebook(self):
+        """The default config reproduces the published dataset statistics."""
+        graph = facebook_like_graph(seed=0)
+        assert graph.number_of_nodes() == 4039
+        assert graph.number_of_edges() == 88234
+        assert nx.is_connected(graph)
+        mean_degree = 2 * graph.number_of_edges() / graph.number_of_nodes()
+        assert 40 <= mean_degree <= 48  # published: 43.69
+        max_degree = max(dict(graph.degree()).values())
+        assert max_degree > 300  # published max degree: 1045 (ego hub)
+
+
+class TestValidation:
+    def test_rejects_more_edges_than_possible(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            FacebookLikeConfig(n_nodes=20, target_edges=200, n_egos=2)
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValueError, match="exceed"):
+            FacebookLikeConfig(n_nodes=5, target_edges=4, n_egos=10)
+
+    def test_tiny_graph_still_works(self):
+        graph = facebook_like_graph(
+            FacebookLikeConfig(n_nodes=30, target_edges=60, n_egos=2), seed=1
+        )
+        assert graph.number_of_nodes() == 30
+        assert nx.is_connected(graph)

@@ -1,0 +1,130 @@
+"""Tests for spectral analysis: the low-pass claims of §II-C."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.gsp.filters import HeatKernel, PersonalizedPageRank
+from repro.gsp.normalization import transition_matrix
+from repro.gsp.spectral import (
+    SpectralDecomposition,
+    compare_filters_table,
+    empirical_frequency_response,
+    heat_frequency_response,
+    is_low_pass,
+    ppr_frequency_response,
+    smoothness,
+)
+
+
+@pytest.fixture(scope="module")
+def sym_operator():
+    graph = nx.connected_watts_strogatz_graph(30, 4, 0.2, seed=3)
+    return transition_matrix(graph, "symmetric")
+
+
+@pytest.fixture(scope="module")
+def decomposition(sym_operator):
+    return SpectralDecomposition.of(sym_operator)
+
+
+class TestClosedForms:
+    def test_ppr_response_at_dc(self):
+        # λ = 1 (the DC / smoothest component) passes unattenuated
+        assert ppr_frequency_response(np.array([1.0]), 0.3)[0] == pytest.approx(1.0)
+
+    def test_ppr_response_monotone_in_lambda(self):
+        lams = np.linspace(-1, 1, 21)
+        response = ppr_frequency_response(lams, 0.3)
+        assert np.all(np.diff(response) > 0)  # low-pass
+
+    def test_ppr_alpha_one_flat(self):
+        lams = np.linspace(-1, 1, 5)
+        assert np.allclose(ppr_frequency_response(lams, 1.0), 1.0)
+
+    def test_heavier_diffusion_sharper_filter(self):
+        """Smaller alpha attenuates high frequencies more aggressively."""
+        high_freq = np.array([-0.5])
+        heavy = ppr_frequency_response(high_freq, 0.1)[0]
+        light = ppr_frequency_response(high_freq, 0.9)[0]
+        assert heavy < light
+
+    def test_heat_response_at_dc(self):
+        assert heat_frequency_response(np.array([1.0]), 3.0)[0] == pytest.approx(1.0)
+
+    def test_heat_monotone(self):
+        lams = np.linspace(-1, 1, 21)
+        assert np.all(np.diff(heat_frequency_response(lams, 2.0)) > 0)
+
+
+class TestDecomposition:
+    def test_eigenvalues_sorted_descending(self, decomposition):
+        assert np.all(np.diff(decomposition.eigenvalues) <= 1e-12)
+
+    def test_eigenvalues_bounded(self, decomposition):
+        assert decomposition.eigenvalues.max() <= 1.0 + 1e-9
+        assert decomposition.eigenvalues.min() >= -1.0 - 1e-9
+
+    def test_fourier_roundtrip(self, decomposition):
+        rng = np.random.default_rng(0)
+        signal = rng.standard_normal(30)
+        coeffs = decomposition.transform(signal)
+        assert np.allclose(decomposition.inverse(coeffs), signal, atol=1e-10)
+
+    def test_asymmetric_operator_rejected(self):
+        graph = nx.path_graph(5)
+        with pytest.raises(ValueError, match="symmetric"):
+            SpectralDecomposition.of(transition_matrix(graph, "column"))
+
+
+class TestEmpiricalResponse:
+    def test_ppr_matches_closed_form(self, sym_operator, decomposition):
+        """Filtering eigenvectors recovers h(λ) = a / (1 − (1−a)λ)."""
+        measured = empirical_frequency_response(
+            PersonalizedPageRank(0.4, tol=1e-13), sym_operator, decomposition
+        )
+        expected = ppr_frequency_response(decomposition.eigenvalues, 0.4)
+        assert np.allclose(measured, expected, atol=1e-6)
+
+    def test_heat_matches_closed_form(self, sym_operator, decomposition):
+        measured = empirical_frequency_response(
+            HeatKernel(t=2.0, tol=1e-12), sym_operator, decomposition
+        )
+        expected = heat_frequency_response(decomposition.eigenvalues, 2.0)
+        assert np.allclose(measured, expected, atol=1e-6)
+
+    def test_both_filters_are_low_pass(self, sym_operator, decomposition):
+        """The §II-C claim, verified empirically."""
+        for graph_filter in (PersonalizedPageRank(0.3, tol=1e-12), HeatKernel(t=3.0)):
+            response = empirical_frequency_response(
+                graph_filter, sym_operator, decomposition
+            )
+            assert is_low_pass(response, decomposition.eigenvalues)
+
+
+class TestSmoothness:
+    def test_constant_signal_is_smoothest(self, sym_operator):
+        graph = nx.complete_graph(5)
+        operator = transition_matrix(graph, "symmetric")
+        constant = np.ones(5)
+        assert smoothness(operator, constant) == pytest.approx(0.0, abs=1e-9)
+
+    def test_filtering_does_not_roughen(self, sym_operator):
+        """Low-pass filtering never increases the Laplacian quadratic form."""
+        rng = np.random.default_rng(1)
+        signal = rng.standard_normal(30)
+        before = smoothness(sym_operator, signal)
+        filtered = PersonalizedPageRank(0.2, tol=1e-12).apply(sym_operator, signal)
+        after = smoothness(sym_operator, filtered)
+        assert after <= before + 1e-9
+
+    def test_zero_signal(self, sym_operator):
+        assert smoothness(sym_operator, np.zeros(30)) == 0.0
+
+
+class TestCompareTable:
+    def test_rows_cover_filters(self, sym_operator):
+        rows = compare_filters_table(sym_operator)
+        names = [row["filter"] for row in rows]
+        assert any("PPR" in name for name in names)
+        assert any("heat" in name for name in names)

@@ -1,0 +1,42 @@
+"""Tests for the staleness experiment (time-evolving conditions)."""
+
+import pytest
+
+from repro.experiments.staleness import staleness_sweep
+
+
+class TestStalenessSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return staleness_sweep(
+            n_documents=200,
+            stale_fractions=(0.0, 0.5, 1.0),
+            iterations=12,
+        )
+
+    def test_one_row_per_fraction(self, rows):
+        assert [row["stale fraction"] for row in rows] == [0.0, 0.5, 1.0]
+
+    def test_rates_valid(self, rows):
+        for row in rows:
+            assert 0.0 <= row["success rate"] <= 1.0
+
+    def test_fresh_state_not_worse_than_fully_stale(self, rows):
+        by_fraction = {row["stale fraction"]: row["success rate"] for row in rows}
+        assert by_fraction[0.0] >= by_fraction[1.0]
+
+    def test_deterministic(self):
+        a = staleness_sweep(
+            n_documents=100, stale_fractions=(0.0, 1.0), iterations=5
+        )
+        b = staleness_sweep(
+            n_documents=100, stale_fractions=(0.0, 1.0), iterations=5
+        )
+        assert a == b
+
+    def test_cli(self, capsys):
+        from repro.experiments.staleness import main
+
+        assert main(["--iterations", "3", "--documents", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "stale" in out

@@ -1,0 +1,130 @@
+"""Tests for repro.embeddings.synthetic: the GloVe substitute's geometry."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.synthetic import (
+    SyntheticCorpusConfig,
+    noise_scale_for_cosine,
+    synthetic_word_embeddings,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert np.isclose(zipf_weights(100, 1.1).sum(), 1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, 1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_single_element(self):
+        assert np.allclose(zipf_weights(1, 2.0), [1.0])
+
+
+class TestNoiseScale:
+    @pytest.mark.parametrize("target", [0.5, 0.72, 0.9])
+    def test_calibration_matches_empirical_cosine(self, target):
+        """The derived sigma should hit the target intra-cluster cosine."""
+        dim = 300
+        sigma = noise_scale_for_cosine(target, dim)
+        rng = np.random.default_rng(0)
+        center = rng.standard_normal(dim)
+        center /= np.linalg.norm(center)
+        a = center + sigma * rng.standard_normal((500, dim))
+        b = center + sigma * rng.standard_normal((500, dim))
+        a /= np.linalg.norm(a, axis=1, keepdims=True)
+        b /= np.linalg.norm(b, axis=1, keepdims=True)
+        empirical = float(np.mean(np.sum(a * b, axis=1)))
+        assert abs(empirical - target) < 0.05
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            noise_scale_for_cosine(1.0, 10)
+
+
+class TestSyntheticModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return synthetic_word_embeddings(
+            SyntheticCorpusConfig(
+                n_words=1500,
+                dim=128,
+                n_clusters=100,
+                intra_cluster_cosine=0.75,
+                singleton_fraction=0.2,
+            ),
+            seed=9,
+        )
+
+    def test_shapes(self, model):
+        assert len(model) == 1500
+        assert model.dim == 128
+
+    def test_unit_vectors(self, model):
+        assert np.allclose(np.linalg.norm(model.vectors, axis=1), 1.0)
+
+    def test_deterministic(self):
+        config = SyntheticCorpusConfig(n_words=200, dim=16, n_clusters=20)
+        a = synthetic_word_embeddings(config, seed=1)
+        b = synthetic_word_embeddings(config, seed=1)
+        assert np.allclose(a.vectors, b.vectors)
+        assert a.words == b.words
+
+    def test_seed_changes_vectors(self):
+        config = SyntheticCorpusConfig(n_words=200, dim=16, n_clusters=20)
+        a = synthetic_word_embeddings(config, seed=1)
+        b = synthetic_word_embeddings(config, seed=2)
+        assert not np.allclose(a.vectors, b.vectors)
+
+    def test_metadata_present(self, model):
+        for key in ("cluster_of", "frequencies", "cluster_centers", "noise_sigma"):
+            assert key in model.metadata
+
+    def test_singleton_fraction_respected(self, model):
+        cluster_of = model.metadata["cluster_of"]
+        fraction = np.mean(cluster_of < 0)
+        assert abs(fraction - 0.2) < 0.02
+
+    def test_intra_cluster_cosine_near_target(self, model):
+        """Same-cluster word pairs concentrate near the configured cosine."""
+        cluster_of = model.metadata["cluster_of"]
+        vectors = model.vectors
+        sims = []
+        for cluster in range(20):
+            members = np.flatnonzero(cluster_of == cluster)
+            if members.size < 2:
+                continue
+            block = vectors[members]
+            gram = block @ block.T
+            upper = gram[np.triu_indices(members.size, k=1)]
+            sims.extend(upper.tolist())
+        assert abs(float(np.mean(sims)) - 0.75) < 0.05
+
+    def test_cross_cluster_near_orthogonal(self, model):
+        """Different-cluster words are near orthogonal in high dimension."""
+        cluster_of = model.metadata["cluster_of"]
+        a = np.flatnonzero(cluster_of == 0)
+        b = np.flatnonzero(cluster_of == 1)
+        if a.size == 0 or b.size == 0:
+            pytest.skip("empty clusters in this draw")
+        cross = model.vectors[a] @ model.vectors[b].T
+        assert abs(float(np.mean(cross))) < 0.15
+
+    def test_frequencies_normalized_zipf(self, model):
+        freq = model.metadata["frequencies"]
+        assert np.isclose(freq.sum(), 1.0)
+        assert np.all(np.diff(freq) <= 0)
+
+    def test_word_naming_unique_and_prefixed(self, model):
+        assert all(w.startswith("word") for w in model.words)
+        assert len(set(model.words)) == len(model)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(n_words=0)
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(intra_cluster_cosine=1.5)
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(singleton_fraction=-0.1)

@@ -1,0 +1,99 @@
+"""Tests for repro.embeddings.text."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.text import (
+    ZipfCorpusConfig,
+    corpus_to_text,
+    generate_topic_corpus,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("a,b.c!") == ["a", "b", "c"]
+
+    def test_keeps_digits_and_underscores(self):
+        assert tokenize("word_01 x2") == ["word_01", "x2"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+def _simple_inputs():
+    vocabulary = [f"w{i}" for i in range(30)]
+    topic_of = np.array([i % 3 for i in range(30)])
+    topic_of[27:] = -1  # a few background-only words
+    frequencies = np.ones(30)
+    return vocabulary, topic_of, frequencies
+
+
+class TestGenerateTopicCorpus:
+    def test_sentence_count(self):
+        vocab, topics, freqs = _simple_inputs()
+        config = ZipfCorpusConfig(n_sentences=25, sentence_length=6)
+        sentences = list(
+            generate_topic_corpus(vocab, topics, freqs, config, seed=0)
+        )
+        assert len(sentences) == 25
+
+    def test_sentences_min_length(self):
+        vocab, topics, freqs = _simple_inputs()
+        config = ZipfCorpusConfig(n_sentences=50, sentence_length=2)
+        for sentence in generate_topic_corpus(vocab, topics, freqs, config, seed=1):
+            assert len(sentence) >= 2
+
+    def test_all_tokens_in_vocabulary(self):
+        vocab, topics, freqs = _simple_inputs()
+        vocab_set = set(vocab)
+        for sentence in generate_topic_corpus(
+            vocab, topics, freqs, ZipfCorpusConfig(n_sentences=10), seed=2
+        ):
+            assert all(tok in vocab_set for tok in sentence)
+
+    def test_topic_adherence_concentrates_sentences(self):
+        """With adherence 1.0, each sentence stays inside one topic."""
+        vocab, topics, freqs = _simple_inputs()
+        topic_by_word = {w: int(t) for w, t in zip(vocab, topics)}
+        config = ZipfCorpusConfig(n_sentences=20, topic_adherence=1.0)
+        for sentence in generate_topic_corpus(vocab, topics, freqs, config, seed=3):
+            sentence_topics = {topic_by_word[tok] for tok in sentence}
+            assert len(sentence_topics) == 1
+
+    def test_deterministic(self):
+        vocab, topics, freqs = _simple_inputs()
+        config = ZipfCorpusConfig(n_sentences=5)
+        a = list(generate_topic_corpus(vocab, topics, freqs, config, seed=7))
+        b = list(generate_topic_corpus(vocab, topics, freqs, config, seed=7))
+        assert a == b
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(ValueError):
+            list(
+                generate_topic_corpus(
+                    ["a", "b"], np.array([0]), np.array([1.0, 1.0]), seed=0
+                )
+            )
+
+    def test_no_topics_raises(self):
+        with pytest.raises(ValueError):
+            list(
+                generate_topic_corpus(
+                    ["a", "b"],
+                    np.array([-1, -1]),
+                    np.array([1.0, 1.0]),
+                    seed=0,
+                )
+            )
+
+
+class TestCorpusToText:
+    def test_roundtrip_with_tokenize(self):
+        sentences = [["hello", "world"], ["foo", "bar"]]
+        text = corpus_to_text(sentences)
+        assert tokenize(text) == ["hello", "world", "foo", "bar"]

@@ -1,0 +1,115 @@
+"""Tests for the per-node document store."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.vector_store import DocumentStore, StoredDocument
+
+
+@pytest.fixture
+def store() -> DocumentStore:
+    s = DocumentStore(3)
+    s.add("x", np.array([1.0, 0.0, 0.0]))
+    s.add("y", np.array([0.0, 1.0, 0.0]))
+    s.add("z", np.array([0.0, 0.0, 1.0]))
+    return s
+
+
+class TestMutation:
+    def test_add_and_len(self, store):
+        assert len(store) == 3
+        assert "x" in store
+
+    def test_re_add_replaces_embedding(self, store):
+        store.add("x", np.array([5.0, 0.0, 0.0]))
+        assert len(store) == 3
+        assert store.embedding_of("x")[0] == 5.0
+
+    def test_wrong_dim_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.add("w", np.zeros(4))
+
+    def test_remove_middle(self, store):
+        store.remove("y")
+        assert len(store) == 2
+        assert "y" not in store
+        assert np.allclose(store.embedding_of("z"), [0.0, 0.0, 1.0])
+
+    def test_remove_last(self, store):
+        store.remove("z")
+        assert sorted(store.doc_ids) == ["x", "y"]
+
+    def test_remove_unknown_raises(self, store):
+        with pytest.raises(KeyError):
+            store.remove("nope")
+
+    def test_add_many_bulk(self):
+        store = DocumentStore(2)
+        store.add_many(
+            StoredDocument(f"d{i}", np.array([float(i), 0.0])) for i in range(5)
+        )
+        assert len(store) == 5
+        assert store.embedding_of("d3")[0] == 3.0
+
+    def test_add_many_replaces_existing(self, store):
+        store.add_many([StoredDocument("x", np.array([9.0, 0.0, 0.0]))])
+        assert len(store) == 3
+        assert store.embedding_of("x")[0] == 9.0
+
+    def test_add_many_wrong_dim_rejected(self):
+        store = DocumentStore(2)
+        with pytest.raises(ValueError):
+            store.add_many([StoredDocument("a", np.zeros(3))])
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            DocumentStore(0)
+
+    def test_stored_document_validates_shape(self):
+        with pytest.raises(ValueError):
+            StoredDocument("a", np.zeros((2, 2)))
+
+
+class TestScoring:
+    def test_score_matches_dot(self, store):
+        scores = store.score(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(sorted(scores), [1.0, 2.0, 3.0])
+
+    def test_empty_store_scores_empty(self):
+        store = DocumentStore(3)
+        assert store.score(np.ones(3)).size == 0
+        assert store.top_k(np.ones(3), 5) == []
+
+    def test_top_k_order(self, store):
+        hits = store.top_k(np.array([1.0, 2.0, 3.0]), 2)
+        assert [doc for doc, _ in hits] == ["z", "y"]
+
+    def test_top_k_larger_than_store(self, store):
+        hits = store.top_k(np.ones(3), 10)
+        assert len(hits) == 3
+
+    def test_top_k_deterministic_ties(self):
+        store = DocumentStore(1)
+        store.add("b", np.array([1.0]))
+        store.add("a", np.array([1.0]))
+        hits = store.top_k(np.array([1.0]), 1)
+        # tie broken by insertion index, deterministic across runs
+        assert hits[0][0] == "b"
+
+    def test_scores_after_removal_consistent(self, store):
+        store.remove("x")
+        hits = store.top_k(np.array([1.0, 0.0, 0.0]), 3)
+        assert all(doc != "x" for doc, _ in hits)
+
+
+class TestPersonalizationHook:
+    def test_sum_of_embeddings(self, store):
+        assert np.allclose(store.sum_of_embeddings(), [1.0, 1.0, 1.0])
+
+    def test_sum_empty_is_zero(self):
+        assert np.allclose(DocumentStore(4).sum_of_embeddings(), np.zeros(4))
+
+    def test_matrix_copy(self, store):
+        mat = store.matrix()
+        mat[:] = 0.0
+        assert store.embedding_of("x")[0] == 1.0

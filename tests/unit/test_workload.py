@@ -1,0 +1,114 @@
+"""Tests for the retrieval workload construction (paper §V-B rules)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.model import WordEmbeddingModel
+from repro.simulation.workload import RetrievalWorkload, build_workload
+
+
+class TestBuildWorkload:
+    def test_queries_and_golds_disjoint(self, tiny_workload):
+        queries = set(tiny_workload.queries)
+        golds = {g for gs in tiny_workload.gold_of.values() for g in gs}
+        assert not queries & golds
+
+    def test_pool_excludes_queries_and_golds(self, tiny_workload):
+        queries = set(tiny_workload.queries)
+        golds = {g for gs in tiny_workload.gold_of.values() for g in gs}
+        pool = set(tiny_workload.irrelevant_pool)
+        assert not pool & queries
+        assert not pool & golds
+
+    def test_every_query_has_gold(self, tiny_workload):
+        for query in tiny_workload.queries:
+            assert len(tiny_workload.gold_of[query]) >= 1
+
+    def test_golds_satisfy_threshold(self, tiny_workload, tiny_model):
+        for query in tiny_workload.queries[:10]:
+            for gold in tiny_workload.gold_of[query]:
+                assert tiny_model.similarity(query, gold) > 0.6
+
+    def test_pool_below_threshold_for_their_queries(self, tiny_workload, tiny_model):
+        """Irrelevant docs must not be gold-quality matches for any query."""
+        rng = np.random.default_rng(0)
+        pool = tiny_workload.irrelevant_pool
+        sample = [pool[int(i)] for i in rng.integers(0, len(pool), size=30)]
+        for query in tiny_workload.queries[:5]:
+            for word in sample:
+                assert tiny_model.similarity(query, word) <= 0.6
+
+    def test_requested_count_or_fewer(self, tiny_model):
+        workload = build_workload(tiny_model, n_queries=10, threshold=0.6, seed=1)
+        assert workload.n_queries == 10
+
+    def test_deterministic(self, tiny_model):
+        a = build_workload(tiny_model, n_queries=15, threshold=0.6, seed=9)
+        b = build_workload(tiny_model, n_queries=15, threshold=0.6, seed=9)
+        assert a.queries == b.queries
+        assert a.gold_of == b.gold_of
+
+    def test_impossible_threshold_raises(self):
+        rng = np.random.default_rng(0)
+        # orthonormal vectors: no neighbors above any positive threshold
+        model = WordEmbeddingModel(
+            [f"w{i}" for i in range(8)], np.eye(8)
+        )
+        with pytest.raises(ValueError, match="no query words"):
+            build_workload(model, n_queries=5, threshold=0.6, seed=0)
+
+
+class TestSampling:
+    def test_sample_case_returns_query_gold_pair(self, tiny_workload):
+        rng = np.random.default_rng(1)
+        query, gold = tiny_workload.sample_case(rng)
+        assert query in tiny_workload.gold_of
+        assert gold in tiny_workload.gold_of[query]
+
+    def test_sample_irrelevant_distinct(self, tiny_workload):
+        rng = np.random.default_rng(2)
+        docs = tiny_workload.sample_irrelevant(rng, 50)
+        assert len(docs) == len(set(docs)) == 50
+        pool = set(tiny_workload.irrelevant_pool)
+        assert all(doc in pool for doc in docs)
+
+    def test_sample_irrelevant_exclude(self, tiny_workload):
+        rng = np.random.default_rng(3)
+        excluded = tiny_workload.irrelevant_pool[0]
+        docs = tiny_workload.sample_irrelevant(rng, 20, exclude={excluded})
+        assert excluded not in docs
+
+    def test_sample_irrelevant_too_many_raises(self, tiny_workload):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError, match="pool"):
+            tiny_workload.sample_irrelevant(
+                rng, len(tiny_workload.irrelevant_pool) + 1
+            )
+
+    def test_query_embedding_lookup(self, tiny_workload, tiny_model):
+        query = tiny_workload.queries[0]
+        assert np.allclose(
+            tiny_workload.query_embedding(query), tiny_model.vector(query)
+        )
+
+
+class TestValidationInConstructor:
+    def test_overlapping_sets_rejected(self, tiny_model):
+        with pytest.raises(ValueError, match="overlap"):
+            RetrievalWorkload(
+                model=tiny_model,
+                queries=["word00001"],
+                gold_of={"word00001": ["word00001"]},
+                irrelevant_pool=[],
+                threshold=0.6,
+            )
+
+    def test_pool_overlap_rejected(self, tiny_model):
+        with pytest.raises(ValueError, match="overlaps"):
+            RetrievalWorkload(
+                model=tiny_model,
+                queries=["word00001"],
+                gold_of={"word00001": ["word00002"]},
+                irrelevant_pool=["word00002"],
+                threshold=0.6,
+            )
