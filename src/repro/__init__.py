@@ -23,7 +23,17 @@ paper-vs-measured record of every table and figure.
 
 from repro.core.search import DiffusionSearchNetwork
 from repro.core.engine import SearchResult, WalkConfig, run_query
-from repro.core.diffusion import DiffusionOutcome, diffuse_embeddings
+from repro.core.backends import (
+    DiffusionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.core.diffusion import (
+    DiffusionOutcome,
+    diffuse_embeddings,
+    refresh_embeddings,
+)
 from repro.core.forwarding import (
     DegreeBiasedPolicy,
     EmbeddingGuidedPolicy,
@@ -56,6 +66,11 @@ __all__ = [
     "run_query",
     "DiffusionOutcome",
     "diffuse_embeddings",
+    "refresh_embeddings",
+    "DiffusionBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "ForwardingPolicy",
     "EmbeddingGuidedPolicy",
     "PrecomputedScorePolicy",

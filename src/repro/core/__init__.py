@@ -15,7 +15,18 @@ from repro.core.personalization import (
     personalization_vector,
     personalization_matrix,
 )
-from repro.core.diffusion import DiffusionOutcome, diffuse_embeddings
+from repro.core.backends import (
+    DiffusionBackend,
+    PushDiffusionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.core.diffusion import (
+    DiffusionOutcome,
+    diffuse_embeddings,
+    refresh_embeddings,
+)
 from repro.core.forwarding import (
     DegreeBiasedPolicy,
     EmbeddingGuidedPolicy,
@@ -39,6 +50,12 @@ __all__ = [
     "personalization_matrix",
     "DiffusionOutcome",
     "diffuse_embeddings",
+    "refresh_embeddings",
+    "DiffusionBackend",
+    "PushDiffusionBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "ForwardingPolicy",
     "EmbeddingGuidedPolicy",
     "PrecomputedScorePolicy",

@@ -1,0 +1,43 @@
+"""Pluggable diffusion execution backends.
+
+Importing this package registers the four built-in strategies:
+
+* ``power`` — synchronous power iteration of eq. (7).
+* ``solve`` — exact sparse direct solve of eq. (6); ground truth.
+* ``async`` — the decentralized event-driven protocol.
+* ``push``  — residual Forward Push / Gauss–Southwell; the only backend
+  with ``supports_incremental = True`` (sparse-delta refresh).
+
+New strategies plug in via :func:`register_backend`; see
+:mod:`repro.core.backends.base` for the interface contract.
+"""
+
+from repro.core.backends.base import (
+    DiffusionBackend,
+    DiffusionOutcome,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.backends.standard import (
+    ASYNC_RESIDUAL_SLACK,
+    AsyncProtocolBackend,
+    PowerIterationBackend,
+    SparseSolveBackend,
+)
+from repro.core.backends.push import PushDiffusionBackend
+
+__all__ = [
+    "DiffusionBackend",
+    "DiffusionOutcome",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+    "ASYNC_RESIDUAL_SLACK",
+    "AsyncProtocolBackend",
+    "PowerIterationBackend",
+    "SparseSolveBackend",
+    "PushDiffusionBackend",
+]

@@ -1,45 +1,36 @@
-"""Diffusion facade: one call covering all three execution strategies.
+"""Diffusion facade: one call dispatching over pluggable execution backends.
+
+Built-in strategies (see :mod:`repro.core.backends`):
 
 * ``power`` — synchronous iteration of eq. (7); what a coordinated network
   round-by-round execution would compute.
 * ``solve`` — exact sparse solve of eq. (6); ground truth.
 * ``async`` — the decentralized event-driven protocol of
   :class:`repro.runtime.gossip.AsyncPPRDiffusion`; what the real P2P network
-  runs.  All three agree to within tolerance (verified by tests), so
-  experiments may use the cheapest one without changing semantics.
+  runs.
+* ``push`` — residual Forward Push / Gauss–Southwell
+  (:mod:`repro.gsp.push`); supports incremental refresh from sparse
+  personalization deltas via :func:`refresh_embeddings`.
+
+All strategies agree to within tolerance (verified by tests), so experiments
+may use the cheapest one without changing semantics.  Additional strategies
+register through :func:`repro.core.backends.register_backend` and become
+addressable by ``method=`` name here without any call-site change.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from repro.core.backends import get_backend
+from repro.core.backends.base import DiffusionOutcome
 from repro.graphs.adjacency import CompressedAdjacency
-from repro.gsp.filters import PersonalizedPageRank
-from repro.gsp.normalization import NormalizationKind, transition_matrix
-from repro.runtime.gossip import AsyncPPRDiffusion
+from repro.gsp.filters import coerce_signal
+from repro.gsp.normalization import NormalizationKind
 from repro.runtime.network import LatencyModel
 from repro.utils.rng import RngLike
 
-
-@dataclass(frozen=True)
-class DiffusionOutcome:
-    """Diffused embeddings plus cost diagnostics.
-
-    ``iterations`` counts power-iteration sweeps (or 1 for the exact solve);
-    ``messages``/``events`` are populated only by the async strategy.
-    """
-
-    embeddings: np.ndarray
-    method: str
-    alpha: float
-    iterations: int
-    residual: float
-    converged: bool
-    messages: int = 0
-    events: int = 0
-    sim_time: float = 0.0
+__all__ = ["DiffusionOutcome", "diffuse_embeddings", "refresh_embeddings"]
 
 
 def diffuse_embeddings(
@@ -58,56 +49,54 @@ def diffuse_embeddings(
 
     Parameters mirror the paper's: ``alpha`` is the teleport probability
     (0.1 = heavy, 0.5 = moderate, 0.9 = light diffusion in §V-C).
+    ``method`` names a registered :class:`~repro.core.backends.DiffusionBackend`.
     """
-    personalization = np.asarray(personalization, dtype=np.float64)
-    if personalization.ndim == 1:
-        personalization = personalization[:, None]
-    if personalization.shape[0] != topology.n_nodes:
+    personalization, _ = coerce_signal(personalization, topology.n_nodes)
+    backend = get_backend(method)
+    return backend.diffuse(
+        topology,
+        personalization,
+        alpha=alpha,
+        normalization=normalization,
+        tol=tol,
+        max_iterations=max_iterations,
+        latency=latency,
+        seed=seed,
+    )
+
+
+def refresh_embeddings(
+    topology: CompressedAdjacency,
+    embeddings: np.ndarray,
+    delta: np.ndarray,
+    *,
+    alpha: float = 0.5,
+    method: str = "push",
+    normalization: NormalizationKind = "column",
+    tol: float = 1e-8,
+    max_iterations: int = 10_000,
+) -> DiffusionOutcome:
+    """Patch diffused ``embeddings`` for a sparse personalization change.
+
+    ``delta`` is the row-wise difference between the new and the previously
+    diffused personalization matrix (zero outside the changed nodes); by
+    linearity the corrected diffusion is ``embeddings + H delta``, computed
+    at a cost proportional to the change.  Requires a backend with
+    ``supports_incremental`` (built-in: ``push``).
+    """
+    delta, _ = coerce_signal(delta, topology.n_nodes)
+    backend = get_backend(method)
+    if not backend.supports_incremental:
         raise ValueError(
-            f"personalization has {personalization.shape[0]} rows for "
-            f"{topology.n_nodes} nodes"
+            f"diffusion method {method!r} does not support incremental "
+            "refresh; use method='push' or a custom incremental backend"
         )
-
-    if method in ("power", "solve"):
-        operator = transition_matrix(topology, normalization)
-        ppr = PersonalizedPageRank(
-            alpha, tol=tol, max_iterations=max_iterations, method=method
-        )
-        detail = ppr.apply_detailed(operator, personalization)
-        return DiffusionOutcome(
-            embeddings=np.asarray(detail.signal),
-            method=method,
-            alpha=alpha,
-            iterations=detail.iterations,
-            residual=detail.residual,
-            converged=detail.converged,
-        )
-
-    if method == "async":
-        if normalization != "column":
-            raise ValueError(
-                "the decentralized protocol implements column normalization; "
-                f"got {normalization!r}"
-            )
-        protocol = AsyncPPRDiffusion(
-            topology,
-            personalization,
-            alpha=alpha,
-            tol=tol,
-            latency=latency,
-            seed=seed,
-        )
-        outcome = protocol.run(max_events=max_iterations * topology.n_nodes)
-        return DiffusionOutcome(
-            embeddings=outcome.embeddings,
-            method="async",
-            alpha=alpha,
-            iterations=outcome.events,
-            residual=outcome.residual,
-            converged=outcome.residual < 10 * tol * max(1, topology.n_nodes),
-            messages=outcome.messages,
-            events=outcome.events,
-            sim_time=outcome.time,
-        )
-
-    raise ValueError(f"method must be 'power', 'solve' or 'async', got {method!r}")
+    return backend.refresh(
+        topology,
+        embeddings,
+        delta,
+        alpha=alpha,
+        normalization=normalization,
+        tol=tol,
+        max_iterations=max_iterations,
+    )

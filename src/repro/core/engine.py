@@ -108,14 +108,31 @@ class SearchResult:
         return self.discovered_at.get(doc_id)
 
 
-_EMPTY_STORE_CACHE: dict[int, DocumentStore] = {}
+class _FrozenEmptyStore(DocumentStore):
+    """Immutable empty store shared across queries of the same ``dim``.
+
+    Nodes without documents are scored against this sentinel; freezing the
+    mutators guarantees the shared instance can never accumulate documents
+    and leak them into unrelated queries or networks.
+    """
+
+    def add(self, doc_id: Hashable, embedding: np.ndarray) -> None:
+        raise TypeError("the shared empty-store sentinel is immutable")
+
+    def add_many(self, documents) -> None:
+        raise TypeError("the shared empty-store sentinel is immutable")
+
+    def remove(self, doc_id: Hashable) -> None:
+        raise TypeError("the shared empty-store sentinel is immutable")
+
+
+_EMPTY_STORE_SENTINELS: dict[int, _FrozenEmptyStore] = {}
 
 
 def _empty_store(dim: int) -> DocumentStore:
-    store = _EMPTY_STORE_CACHE.get(dim)
+    store = _EMPTY_STORE_SENTINELS.get(dim)
     if store is None:
-        store = DocumentStore(dim)
-        _EMPTY_STORE_CACHE[dim] = store
+        store = _EMPTY_STORE_SENTINELS[dim] = _FrozenEmptyStore(dim)
     return store
 
 

@@ -7,6 +7,17 @@ Typical use (the full pipeline of paper §IV)::
     net.diffuse()                      # PPR warm-up (Fig. 2 lines 3-6)
     result = net.search(query_embedding, start_node=7, ttl=50)
     result.best                        # best document found by the walk
+
+Dynamic content: the network tracks which nodes' personalization rows
+changed since the last warm-up (``place_document``/``remove_document``
+mark their node dirty).  With an incremental-capable backend the next
+``diffuse(method="push")`` patches the cached embeddings from the sparse
+delta instead of recomputing the whole network — work proportional to the
+change, exact to within the push tolerance::
+
+    net.place_document("doc-2", other_embedding, node=9)
+    outcome = net.diffuse(method="push")   # incremental patch, not a redo
+    assert outcome.incremental
 """
 
 from __future__ import annotations
@@ -16,7 +27,8 @@ from typing import Hashable, Iterable, Mapping
 import networkx as nx
 import numpy as np
 
-from repro.core.diffusion import DiffusionOutcome, diffuse_embeddings
+from repro.core.backends import get_backend
+from repro.core.diffusion import DiffusionOutcome
 from repro.core.engine import SearchResult, WalkConfig, run_query
 from repro.core.forwarding import EmbeddingGuidedPolicy, ForwardingPolicy
 from repro.core.personalization import (
@@ -71,6 +83,12 @@ class DiffusionSearchNetwork:
         self._embeddings: np.ndarray | None = None
         self._last_outcome: DiffusionOutcome | None = None
         self._stale = True
+        # Incremental-refresh state: the personalization matrix the cached
+        # embeddings were diffused from, and the nodes whose rows changed
+        # since (the sparse delta support set).
+        self._diffused_personalization: np.ndarray | None = None
+        self._dirty_nodes: set[int] = set()
+        self._accumulated_residual = 0.0
 
     # ------------------------------------------------------------ documents
 
@@ -93,7 +111,7 @@ class DiffusionSearchNetwork:
             store = self.stores[node] = DocumentStore(self.dim)
         store.add(doc_id, embedding)
         self._doc_locations[doc_id] = node
-        self._stale = True
+        self._mark_dirty(node)
 
     def place_documents(
         self, placements: Iterable[tuple[Hashable, np.ndarray, int]]
@@ -108,12 +126,19 @@ class DiffusionSearchNetwork:
         self.stores[node].remove(doc_id)
         if len(self.stores[node]) == 0:
             del self.stores[node]
-        self._stale = True
+        self._mark_dirty(node)
 
     def clear_documents(self) -> None:
         """Drop every document (e.g. between experiment iterations)."""
+        for node in list(self.stores):
+            self._mark_dirty(node)
         self.stores.clear()
         self._doc_locations.clear()
+        self._stale = True
+
+    def _mark_dirty(self, node: int) -> None:
+        """Record that ``node``'s personalization row changed."""
+        self._dirty_nodes.add(int(node))
         self._stale = True
 
     def location_of(self, doc_id: Hashable) -> int:
@@ -141,23 +166,108 @@ class DiffusionSearchNetwork:
         max_iterations: int = 10_000,
         latency: LatencyModel | None = None,
         seed: RngLike = None,
+        incremental: bool | None = None,
     ) -> DiffusionOutcome:
-        """Run the PPR diffusion warm-up and cache the node embeddings."""
-        outcome = diffuse_embeddings(
-            self.adjacency,
-            self.personalization(),
-            alpha=self.alpha,
-            method=method,
-            normalization=self.normalization,
-            tol=tol,
-            max_iterations=max_iterations,
-            latency=latency,
-            seed=seed,
+        """Run (or incrementally refresh) the PPR diffusion warm-up.
+
+        ``incremental=None`` (the default) patches the cached embeddings
+        from the sparse personalization delta whenever possible — an
+        incremental-capable backend (``method="push"``) and a previous
+        diffusion to patch — and falls back to a full cold-start run
+        otherwise.  ``True`` forces the incremental path (raising when it
+        is unavailable); ``False`` forces a full re-diffusion.
+
+        An incremental outcome with ``converged=False`` (the sweep cap hit
+        before the delta drained) is returned but *not* committed: the
+        cached embeddings, baseline, and staleness are left untouched so a
+        retry with a larger budget re-diffuses the full delta.
+        """
+        backend = get_backend(method)
+        can_refresh = (
+            backend.supports_incremental
+            and self._embeddings is not None
+            and self._diffused_personalization is not None
         )
+        if incremental is None:
+            incremental = can_refresh
+        elif incremental and not can_refresh:
+            if not backend.supports_incremental:
+                raise ValueError(
+                    f"diffusion method {method!r} does not support "
+                    "incremental refresh; use method='push'"
+                )
+            raise ValueError(
+                "incremental refresh needs a previous diffusion to patch; "
+                "run .diffuse() once before requesting incremental=True"
+            )
+
+        personalization = self.personalization()
+        if incremental:
+            # Full-matrix difference rather than just the dirty-marked rows:
+            # it costs the same (the current matrix is already in hand) and
+            # stays correct even when stores were mutated behind the
+            # facade's back.  Unchanged rows are zero and cost nothing to
+            # push; `dirty_nodes` remains the introspection view.
+            delta = personalization - self._diffused_personalization
+            outcome = backend.refresh(
+                self.adjacency,
+                self._embeddings,
+                delta,
+                alpha=self.alpha,
+                normalization=self.normalization,
+                tol=tol,
+                max_iterations=max_iterations,
+            )
+        else:
+            outcome = backend.diffuse(
+                self.adjacency,
+                personalization,
+                alpha=self.alpha,
+                normalization=self.normalization,
+                tol=tol,
+                max_iterations=max_iterations,
+                latency=latency,
+                seed=seed,
+            )
+        if incremental and not outcome.converged:
+            # A truncated patch must not advance the baseline: committing it
+            # would mark the lost correction as applied, and no later
+            # refresh could ever recover it (the next delta would be zero).
+            # Leave every cache untouched — still stale — so a retry
+            # re-diffuses the full delta.
+            return outcome
         self._embeddings = outcome.embeddings
         self._last_outcome = outcome
+        # Only a converged run may serve as the incremental baseline: a
+        # truncated full run carries residual error that a later delta patch
+        # could never see, let alone repair.  Without a baseline the next
+        # diffuse() falls back to a full run (seed behaviour preserved: the
+        # embeddings themselves are still cached and searchable).
+        self._diffused_personalization = (
+            personalization if outcome.converged else None
+        )
+        self._dirty_nodes.clear()
         self._stale = False
+        # Each patch leaves up to ~tol of residual behind; a full run resets
+        # the baseline.  See :attr:`accumulated_residual`.
+        if outcome.incremental:
+            self._accumulated_residual += outcome.residual
+        else:
+            self._accumulated_residual = outcome.residual
         return outcome
+
+    @property
+    def accumulated_residual(self) -> float:
+        """Residual bound accumulated over incremental refreshes.
+
+        Every incremental patch stops once its *delta* residual falls below
+        the tolerance, leaving that much error behind on top of whatever the
+        base diffusion carried; over a long churn workload the bounds add
+        up.  Monitor this and re-baseline with
+        ``diffuse(incremental=False)`` when it approaches the score margins
+        that matter for routing (it resets on any full diffusion).
+        """
+        return self._accumulated_residual
 
     @property
     def embeddings(self) -> np.ndarray:
@@ -177,6 +287,15 @@ class DiffusionSearchNetwork:
     def is_stale(self) -> bool:
         """True when documents changed after the last diffusion."""
         return self._stale
+
+    @property
+    def dirty_nodes(self) -> frozenset[int]:
+        """Nodes whose personalization changed since the last diffusion.
+
+        This is the support set of the sparse delta an incremental refresh
+        would diffuse; empty right after :meth:`diffuse`.
+        """
+        return frozenset(self._dirty_nodes)
 
     @property
     def last_diffusion(self) -> DiffusionOutcome | None:

@@ -55,6 +55,10 @@ class CompressedAdjacency:
         self.labels = labels
         self._label_to_id = {label: i for i, label in enumerate(labels)}
         self._degrees = np.diff(self.indptr).astype(np.int64)
+        # Normalized-operator memoization, keyed (kind, format) and filled
+        # by repro.gsp.normalization.transition_matrix; sound because the
+        # adjacency is immutable.  Cached matrices are shared — read-only.
+        self._operator_cache: dict[tuple[str, str], sp.spmatrix] = {}
 
     # ---------------------------------------------------------- construction
 

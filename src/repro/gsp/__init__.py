@@ -12,6 +12,7 @@ from repro.gsp.normalization import (
     NormalizationKind,
 )
 from repro.gsp.convolution import propagate, k_hop_aggregate
+from repro.gsp.push import PushResult, forward_push, push_refresh
 from repro.gsp.filters import (
     DiffusionResult,
     GraphFilter,
@@ -34,6 +35,9 @@ __all__ = [
     "NormalizationKind",
     "propagate",
     "k_hop_aggregate",
+    "PushResult",
+    "forward_push",
+    "push_refresh",
     "DiffusionResult",
     "GraphFilter",
     "HeatKernel",

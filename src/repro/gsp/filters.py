@@ -57,7 +57,13 @@ class GraphFilter(ABC):
         return self.apply(operator, np.eye(n))
 
 
-def _as_signal(signal: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
+def coerce_signal(signal: np.ndarray, n: int) -> tuple[np.ndarray, bool]:
+    """Coerce a graph signal to a float64 ``(n, dim)`` matrix.
+
+    Returns the matrix plus whether the input was a bare vector (so callers
+    can restore the shape on output).  Shared by every filter and kernel in
+    the package — keep validation changes here.
+    """
     signal = np.asarray(signal, dtype=np.float64)
     was_vector = signal.ndim == 1
     if was_vector:
@@ -112,7 +118,7 @@ class PersonalizedPageRank(GraphFilter):
         self, operator: sp.spmatrix, signal: np.ndarray
     ) -> DiffusionResult:
         n = operator.shape[0]
-        signal, was_vector = _as_signal(signal, n)
+        signal, was_vector = coerce_signal(signal, n)
         if self.method == "solve":
             system = sp.eye(n, format="csc") - (1.0 - self.alpha) * operator.tocsc()
             solver = spla.splu(system.tocsc())
@@ -184,7 +190,7 @@ class HeatKernel(GraphFilter):
         self, operator: sp.spmatrix, signal: np.ndarray
     ) -> DiffusionResult:
         n = operator.shape[0]
-        signal, was_vector = _as_signal(signal, n)
+        signal, was_vector = coerce_signal(signal, n)
         weights = self.coefficients()
         current = signal
         total = weights[0] * current
@@ -214,7 +220,7 @@ class PolynomialFilter(GraphFilter):
         self, operator: sp.spmatrix, signal: np.ndarray
     ) -> DiffusionResult:
         n = operator.shape[0]
-        signal, was_vector = _as_signal(signal, n)
+        signal, was_vector = coerce_signal(signal, n)
         weights = self.coefficients_array
         current = signal
         total = weights[0] * current

@@ -42,7 +42,9 @@ def adjacency_matrix(graph: GraphLike) -> sp.csr_matrix:
 def transition_matrix(
     graph: GraphLike,
     kind: NormalizationKind = "column",
-) -> sp.csr_matrix:
+    *,
+    fmt: str = "csr",
+) -> sp.spmatrix:
     """Normalized operator for diffusion.
 
     * ``column`` — ``A D^{-1}``: column-stochastic; entry ``(u, v)`` is the
@@ -54,8 +56,52 @@ def transition_matrix(
     Isolated (degree-0) nodes yield all-zero rows/columns; under PPR their
     diffused value degenerates to the teleport term, which is the correct
     decentralized behaviour for a node with no links.
+
+    ``fmt`` selects the sparse storage: ``"csr"`` (row slicing; the walk and
+    power-iteration layout) or ``"csc"`` (column slicing; what the push
+    kernel scatters along).
+
+    For a :class:`CompressedAdjacency` (immutable) the normalized operator
+    is memoized on the instance per ``(kind, fmt)``, so repeated diffusions
+    — in particular per-change incremental refreshes — don't pay the
+    O(n + m) normalization and conversion again.  Treat the returned matrix
+    as read-only.
     """
-    matrix = adjacency_matrix(graph)
+    if fmt not in ("csr", "csc"):
+        raise ValueError(f"fmt must be 'csr' or 'csc', got {fmt!r}")
+    if isinstance(graph, CompressedAdjacency):
+        cache = graph._operator_cache
+        cached = cache.get((kind, fmt))
+        if cached is None:
+            csr = cache.get((kind, "csr"))
+            if csr is None:
+                csr = cache[kind, "csr"] = _freeze(
+                    _build_transition(graph.to_scipy(), kind)
+                )
+            if fmt == "csc":
+                cached = cache[kind, "csc"] = _freeze(csr.tocsc())
+            else:
+                cached = csr
+        return cached
+    matrix = _build_transition(adjacency_matrix(graph), kind)
+    return matrix.tocsc() if fmt == "csc" else matrix
+
+
+def _freeze(matrix: sp.spmatrix) -> sp.spmatrix:
+    """Make a cached operator's buffers read-only.
+
+    The memoized matrix is shared across every diffusion on the adjacency;
+    in-place edits (``op.data *= ...``) would silently corrupt them all, so
+    accidental mutation should raise instead.
+    """
+    for attr in ("data", "indices", "indptr"):
+        getattr(matrix, attr).flags.writeable = False
+    return matrix
+
+
+def _build_transition(
+    matrix: sp.csr_matrix, kind: NormalizationKind
+) -> sp.csr_matrix:
     degrees = np.asarray(matrix.sum(axis=1)).ravel()
     with np.errstate(divide="ignore"):
         inv = np.where(degrees > 0, 1.0 / degrees, 0.0)

@@ -1,0 +1,196 @@
+"""Residual-based Forward Push (Gauss–Southwell) for the PPR filter.
+
+Local alternative to power iteration for ``E = a (I − (1−a) A)^{-1} E0``
+(paper eq. 6).  The kernel maintains an *estimate* ``p`` and a *residual*
+``r`` satisfying the invariant
+
+    p + H r = H r0 ,      H = a (I − (1−a) A)^{-1} ,
+
+starting from ``p = 0, r = r0``.  Each sweep pushes every node whose
+residual row still exceeds the threshold: the node absorbs ``a·r_u`` into
+its estimate and forwards ``(1−a)·r_u`` to its neighbors through the
+operator column ``A[:, u]``.  Work is therefore proportional to the mass
+still in the residual — *not* to the size of the graph — which makes the
+kernel suitable both for cold-start diffusion and, crucially, for patching
+an existing diffusion after a **sparse change** to the personalization:
+diffusing the delta ``r0 = E0' − E0`` yields exactly the correction
+``H E0' − H E0`` by linearity.
+
+The batched sweep is a Gauss–Southwell relaxation: instead of one node at a
+time, every above-threshold node is relaxed per sweep (the vertex-centric
+decomposition used by systems like PowerWalk), which vectorizes cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.gsp.filters import coerce_signal
+from repro.utils import check_positive, check_probability
+
+#: Use the row-local scatter path when the pushed columns' nonzeros are
+#: below ``n / _SPARSE_SWEEP_DIVISOR`` — below it, updating only touched
+#: rows beats the dense matmul whose add/argmax cost is Θ(n · dim).
+_SPARSE_SWEEP_DIVISOR = 4
+
+
+@dataclass(frozen=True)
+class PushResult:
+    """Outcome of a forward-push run with work accounting.
+
+    Attributes
+    ----------
+    estimate:
+        The diffused signal ``≈ H r0`` with shape ``(n_nodes, dim)``.
+    residual:
+        Final max-abs entry of the residual matrix (the convergence metric).
+    sweeps:
+        Number of batched Gauss–Southwell sweeps performed.
+    pushes:
+        Total node-push operations (rows relaxed, summed over sweeps).
+    edge_operations:
+        Total edge traversals (sum of pushed nodes' degrees) — the
+        graph-work unit comparable across full and incremental runs.
+    converged:
+        True when every residual entry fell below the threshold.
+    """
+
+    estimate: np.ndarray
+    residual: float
+    sweeps: int
+    pushes: int
+    edge_operations: int
+    converged: bool
+
+
+def forward_push(
+    operator: sp.spmatrix,
+    signal: np.ndarray,
+    *,
+    alpha: float = 0.5,
+    tol: float = 1e-8,
+    max_sweeps: int = 10_000,
+) -> PushResult:
+    """Diffuse ``signal`` with the PPR filter by residual forward push.
+
+    Parameters
+    ----------
+    operator:
+        Normalized adjacency (any kind from
+        :func:`repro.gsp.normalization.transition_matrix`); spectral radius
+        must be ≤ 1 for the ``(1−alpha)``-contraction to hold.
+    signal:
+        Initial residual ``r0`` of shape ``(n,)`` or ``(n, dim)``.  Pass the
+        personalization matrix for a cold start, or a (mostly zero) delta
+        matrix to compute the correction to an existing diffusion.
+    tol:
+        Push threshold on the max-abs residual entry of a row.  The returned
+        estimate deviates from the exact filter output by at most
+        ``‖H‖∞ · tol`` element-wise.
+    max_sweeps:
+        Cap on batched sweeps (each sweep relaxes all active rows at once).
+    """
+    check_probability(alpha, "alpha")
+    if alpha == 0.0:
+        raise ValueError("alpha must be positive (alpha=0 never teleports)")
+    check_positive(tol, "tol")
+    check_positive(max_sweeps, "max_sweeps")
+
+    n = operator.shape[0]
+    residual, was_vector = coerce_signal(signal, n)
+    residual = residual.copy()
+    estimate = np.zeros_like(residual)
+
+    # Column view: pushing node u scatters along column u of the operator.
+    columns = operator.tocsc()
+    col_degrees = np.diff(columns.indptr)
+
+    damping = 1.0 - alpha
+    sweeps = 0
+    pushes = 0
+    edge_operations = 0
+    row_peak = np.max(np.abs(residual), axis=1) if residual.size else np.zeros(n)
+
+    n_nodes = residual.shape[0]
+    for sweeps in range(1, max_sweeps + 1):
+        active = np.flatnonzero(row_peak > tol)
+        if active.size == 0:
+            sweeps -= 1
+            break
+        nnz_active = int(col_degrees[active].sum())
+        if active.size == n_nodes:
+            # Everyone is active (typical cold-start sweeps): push the whole
+            # residual through the operator without slicing a copy of it.
+            estimate += alpha * residual
+            residual = np.asarray(columns @ (damping * residual))
+            row_peak = np.max(np.abs(residual), axis=1)
+            pushes += int(active.size)
+            edge_operations += nnz_active
+            continue
+        pushed = residual[active]
+        estimate[active] += alpha * pushed
+        # Scatter (1−a)·r_u along operator column u for every active u, then
+        # clear the pushed rows — one sparse slice keeps the cost O(Σ deg u).
+        sub = columns[:, active]
+        residual[active] = 0.0
+        if nnz_active < n_nodes // _SPARSE_SWEEP_DIVISOR:
+            # Localized delta: touch only the scatter's support rows so a
+            # small change never pays Θ(n · dim) per sweep.
+            coo = sub.tocoo()
+            np.add.at(
+                residual,
+                coo.row,
+                (damping * coo.data)[:, None] * pushed[coo.col],
+            )
+            touched = np.unique(np.concatenate((active, coo.row)))
+            row_peak[touched] = np.max(np.abs(residual[touched]), axis=1)
+        else:
+            residual += np.asarray(sub @ (damping * pushed))
+            row_peak = np.max(np.abs(residual), axis=1)
+        pushes += int(active.size)
+        edge_operations += nnz_active
+
+    final_residual = float(row_peak.max()) if row_peak.size else 0.0
+    out = estimate[:, 0] if was_vector else estimate
+    return PushResult(
+        estimate=out,
+        residual=final_residual,
+        sweeps=sweeps,
+        pushes=pushes,
+        edge_operations=edge_operations,
+        converged=final_residual <= tol,
+    )
+
+
+def push_refresh(
+    operator: sp.spmatrix,
+    embeddings: np.ndarray,
+    delta: np.ndarray,
+    *,
+    alpha: float = 0.5,
+    tol: float = 1e-8,
+    max_sweeps: int = 10_000,
+) -> tuple[np.ndarray, PushResult]:
+    """Patch an existing diffusion after a sparse personalization change.
+
+    Given ``embeddings ≈ H E0`` and ``delta = E0' − E0`` (zero outside the
+    changed rows), returns ``(embeddings + H delta, push_result)`` — the
+    diffusion of the *new* personalization — at a cost proportional to the
+    magnitude of the change rather than the size of the network.
+    """
+    n = operator.shape[0]
+    base, base_was_vector = coerce_signal(embeddings, n)
+    delta_matrix, _ = coerce_signal(delta, n)
+    if base.shape != delta_matrix.shape:
+        raise ValueError(
+            f"embeddings shape {base.shape} does not match "
+            f"delta shape {delta_matrix.shape}"
+        )
+    result = forward_push(
+        operator, delta_matrix, alpha=alpha, tol=tol, max_sweeps=max_sweeps
+    )
+    patched = base + result.estimate  # delta was coerced 2-D, so this is too
+    return (patched[:, 0] if base_was_vector else patched), result

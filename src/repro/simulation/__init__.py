@@ -18,6 +18,11 @@ from repro.simulation.runner import (
     run_accuracy_experiment,
     run_hop_count_experiment,
 )
+from repro.simulation.refresh import (
+    REFRESH_STRATEGIES,
+    RefreshOutcome,
+    SignalRefresher,
+)
 from repro.simulation.reporting import format_table, format_accuracy_grid, write_csv
 
 __all__ = [
@@ -34,6 +39,9 @@ __all__ = [
     "IterationSampler",
     "run_accuracy_experiment",
     "run_hop_count_experiment",
+    "REFRESH_STRATEGIES",
+    "RefreshOutcome",
+    "SignalRefresher",
     "format_table",
     "format_accuracy_grid",
     "write_csv",

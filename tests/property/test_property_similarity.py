@@ -1,7 +1,7 @@
 """Property-based tests for similarity kernels and top-k scoring."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as npst
 
@@ -34,6 +34,10 @@ class TestL2NormalizeProperties:
     @given(v=vectors, scale=st.floats(min_value=0.1, max_value=100))
     @settings(max_examples=150)
     def test_positive_scale_invariance(self, v, scale):
+        # Scale invariance genuinely breaks astride the eps=1e-12 zeroing
+        # threshold (one of v / scale·v normalizes, the other snaps to
+        # zero), so keep the norm clear of that boundary.
+        assume(np.linalg.norm(v) >= 1e-6)
         assert np.allclose(l2_normalize(v), l2_normalize(scale * v), atol=1e-9)
 
     @given(v=vectors)

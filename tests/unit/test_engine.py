@@ -247,3 +247,112 @@ class TestSearchResultProperties:
             WalkConfig(fanout=0)
         with pytest.raises(ValueError):
             WalkConfig(k=0)
+
+    @pytest.mark.parametrize("field", ["ttl", "fanout", "k"])
+    def test_config_rejects_negative_values(self, field):
+        with pytest.raises(ValueError, match=field):
+            WalkConfig(**{field: -3})
+
+    def test_config_defaults_are_papers(self):
+        config = WalkConfig()
+        assert (config.ttl, config.fanout, config.k) == (50, 1, 1)
+
+
+class TestFootnote9Fallback:
+    """``next_hops`` when every neighbor is already in per-node memory."""
+
+    def test_star_center_reuses_exhausted_neighbors(self):
+        """On a star, the center's memory fills up; TTL is still spent."""
+        adjacency = CompressedAdjacency.from_networkx(nx.star_graph(2))
+        # node 0 is the hub; leaves 1, 2.  Greedy scores prefer higher ids.
+        result = run_query(
+            adjacency,
+            {},
+            PrecomputedScorePolicy(np.array([0.0, 1.0, 2.0])),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=6),
+        )
+        # hop 1: hub → 2 (best).  Back at the hub on hop 2, neighbor 1 is
+        # still unvisited, so it is chosen; from hop 4 on every neighbor is
+        # in memory and the fallback reconsiders all of them.
+        assert result.path[:4] == [0, 2, 0, 1]
+        assert len(result.visits) == 6  # the remaining TTL is not wasted
+
+    def test_fallback_selects_best_scored_neighbor(self):
+        """The fallback reapplies the policy, not arbitrary choice."""
+        adjacency = CompressedAdjacency.from_networkx(nx.star_graph(3))
+        scores = np.array([0.0, 5.0, 1.0, 2.0])
+        result = run_query(
+            adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=9),
+        )
+        # After all three leaves are in memory (hops 1-6 visit 1, 3, 2 by
+        # score), the exhausted hub falls back to the full neighbor set and
+        # the policy again picks the best-scored leaf, node 1.
+        assert result.path[:6] == [0, 1, 0, 3, 0, 2]
+        assert result.path[6:8] == [0, 1]
+
+    def test_memory_is_symmetric(self):
+        """Forwarding records the edge on both endpoints (paper §IV-C)."""
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(3))
+        result = run_query(
+            adjacency,
+            {},
+            PrecomputedScorePolicy(np.array([0.0, 1.0, 2.0])),
+            np.ones(2),
+            start_node=1,
+            config=WalkConfig(ttl=3),
+        )
+        # 1 → 2 (best); node 2's only neighbor (1) is already in its memory
+        # from receiving the query, so the fallback sends it straight back.
+        assert result.path == [1, 2, 1]
+
+
+class TestEmptyStoreSentinel:
+    """The shared empty-store sentinel must stay empty and per-dim."""
+
+    def test_sentinel_is_immutable(self):
+        from repro.core.engine import _empty_store
+
+        store = _empty_store(7)
+        with pytest.raises(TypeError, match="immutable"):
+            store.add("doc", np.zeros(7))
+        with pytest.raises(TypeError, match="immutable"):
+            store.add_many([])
+        with pytest.raises(TypeError, match="immutable"):
+            store.remove("doc")
+        assert len(store) == 0
+
+    def test_sentinels_are_per_dim(self):
+        from repro.core.engine import _empty_store
+
+        assert _empty_store(3) is _empty_store(3)
+        assert _empty_store(3) is not _empty_store(4)
+        assert _empty_store(4).dim == 4
+
+    def test_networks_with_different_dims_do_not_interfere(self):
+        """Regression: interleaved queries across dims stay independent."""
+        from repro.core.search import DiffusionSearchNetwork
+
+        graph = nx.path_graph(4)
+        net3 = DiffusionSearchNetwork(graph, dim=3)
+        net5 = DiffusionSearchNetwork(graph, dim=5)
+        net3.place_document("g3", np.array([1.0, 0.0, 0.0]), 3)
+        net5.place_document("g5", np.array([0.0, 1.0, 0.0, 0.0, 0.0]), 3)
+        net3.diffuse()
+        net5.diffuse()
+
+        # Interleave queries; each walk crosses empty nodes 0-2 and must see
+        # only its own network's documents.
+        for _ in range(2):
+            r3 = net3.search(np.array([1.0, 0.0, 0.0]), start_node=0, ttl=4)
+            r5 = net5.search(
+                np.array([0.0, 1.0, 0.0, 0.0, 0.0]), start_node=0, ttl=4
+            )
+            assert [d.doc_id for d in r3.results] == ["g3"]
+            assert [d.doc_id for d in r5.results] == ["g5"]

@@ -84,3 +84,45 @@ class TestTransitionMatrix:
         col = transition_matrix(small_world_adjacency, "column").toarray()
         row = transition_matrix(small_world_adjacency, "row").toarray()
         assert np.allclose(col, row.T)
+
+
+class TestOperatorMemoization:
+    """Per-(kind, fmt) caching on immutable CompressedAdjacency."""
+
+    def test_csr_cached_per_kind(self, star):
+        adj = CompressedAdjacency.from_networkx(star)
+        column = transition_matrix(adj, "column")
+        assert transition_matrix(adj, "column") is column
+        assert transition_matrix(adj, "row") is not column
+
+    def test_csc_format_cached_and_equivalent(self, star):
+        adj = CompressedAdjacency.from_networkx(star)
+        csr = transition_matrix(adj, "column")
+        csc = transition_matrix(adj, "column", fmt="csc")
+        assert csc.format == "csc"
+        assert transition_matrix(adj, "column", fmt="csc") is csc
+        assert np.allclose(csc.toarray(), csr.toarray())
+
+    def test_unknown_fmt_rejected(self, star):
+        adj = CompressedAdjacency.from_networkx(star)
+        with pytest.raises(ValueError, match="fmt"):
+            transition_matrix(adj, "column", fmt="coo")
+
+    def test_networkx_input_not_cached(self, star):
+        a = transition_matrix(star, "column")
+        b = transition_matrix(star, "column")
+        assert a is not b
+        assert np.allclose(a.toarray(), b.toarray())
+
+    def test_csc_fmt_for_networkx_input(self, star):
+        csc = transition_matrix(star, "column", fmt="csc")
+        assert csc.format == "csc"
+
+    def test_cached_operator_is_read_only(self, star):
+        adj = CompressedAdjacency.from_networkx(star)
+        op = transition_matrix(adj, "column")
+        with pytest.raises(ValueError):
+            op.data *= 0.5
+        csc = transition_matrix(adj, "column", fmt="csc")
+        with pytest.raises(ValueError):
+            csc.data[0] = 9.0

@@ -1,0 +1,144 @@
+"""Tests for the forward-push kernel (Gauss–Southwell PPR)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.graphs.generators import connected_watts_strogatz
+from repro.gsp.filters import PersonalizedPageRank
+from repro.gsp.normalization import transition_matrix
+from repro.gsp.push import forward_push, push_refresh
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    return CompressedAdjacency.from_networkx(
+        connected_watts_strogatz(40, 4, 0.2, seed=13)
+    )
+
+
+@pytest.fixture(scope="module")
+def operator(adjacency):
+    return transition_matrix(adjacency, "column")
+
+
+@pytest.fixture(scope="module")
+def exact(operator):
+    def solve(signal, alpha):
+        return PersonalizedPageRank(alpha, method="solve").apply(operator, signal)
+
+    return solve
+
+
+class TestColdStart:
+    def test_matches_exact_solve(self, operator, exact):
+        rng = np.random.default_rng(3)
+        signal = rng.standard_normal((40, 6))
+        result = forward_push(operator, signal, alpha=0.4, tol=1e-10)
+        assert result.converged
+        assert np.max(np.abs(result.estimate - exact(signal, 0.4))) < 1e-8
+
+    def test_vector_signal_preserves_shape_and_mass(self, operator):
+        signal = np.zeros(40)
+        signal[0] = 1.0
+        result = forward_push(operator, signal, alpha=0.3, tol=1e-12)
+        assert result.estimate.shape == (40,)
+        # Column-stochastic PPR conserves the unit of personalization mass.
+        assert result.estimate.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_zero_signal_converges_immediately(self, operator):
+        result = forward_push(operator, np.zeros((40, 3)), alpha=0.5)
+        assert result.converged
+        assert result.sweeps == 0
+        assert result.pushes == 0
+        assert result.edge_operations == 0
+        assert np.all(result.estimate == 0.0)
+
+    def test_work_accounting_consistent(self, operator):
+        rng = np.random.default_rng(5)
+        signal = rng.standard_normal((40, 2))
+        result = forward_push(operator, signal, alpha=0.5, tol=1e-8)
+        assert result.pushes > 0
+        # Every push traverses at least one edge on this connected graph.
+        assert result.edge_operations >= result.pushes
+        assert result.sweeps <= result.pushes
+
+    def test_sweep_cap_reports_not_converged(self, operator):
+        rng = np.random.default_rng(7)
+        signal = rng.standard_normal((40, 2))
+        result = forward_push(operator, signal, alpha=0.1, tol=1e-12, max_sweeps=2)
+        assert not result.converged
+        assert result.sweeps == 2
+        assert result.residual > 1e-12
+
+    @pytest.mark.parametrize("kind", ["column", "row", "symmetric"])
+    def test_all_normalizations(self, adjacency, kind, exact):
+        operator = transition_matrix(adjacency, kind)
+        rng = np.random.default_rng(9)
+        signal = rng.standard_normal((40, 3))
+        reference = PersonalizedPageRank(0.5, method="solve").apply(
+            operator, signal
+        )
+        result = forward_push(operator, signal, alpha=0.5, tol=1e-10)
+        assert np.max(np.abs(result.estimate - reference)) < 1e-8
+
+    def test_validation(self, operator):
+        with pytest.raises(ValueError, match="rows"):
+            forward_push(operator, np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="alpha"):
+            forward_push(operator, np.zeros(40), alpha=0.0)
+        with pytest.raises(ValueError):
+            forward_push(operator, np.zeros(40), tol=0.0)
+
+
+class TestRefresh:
+    def test_delta_patch_matches_fresh_solve(self, operator, exact):
+        rng = np.random.default_rng(11)
+        before = rng.standard_normal((40, 4))
+        after = before.copy()
+        after[7] += rng.standard_normal(4)
+        after[23] = 0.0
+        base = forward_push(operator, before, alpha=0.4, tol=1e-11)
+        patched, result = push_refresh(
+            operator, base.estimate, after - before, alpha=0.4, tol=1e-11
+        )
+        assert result.converged
+        assert np.max(np.abs(patched - exact(after, 0.4))) < 1e-8
+
+    def test_zero_delta_is_free(self, operator):
+        rng = np.random.default_rng(13)
+        signal = rng.standard_normal((40, 2))
+        base = forward_push(operator, signal, alpha=0.5, tol=1e-9)
+        patched, result = push_refresh(
+            operator, base.estimate, np.zeros_like(signal), alpha=0.5
+        )
+        assert result.edge_operations == 0
+        assert np.array_equal(patched, base.estimate)
+
+    def test_vector_refresh(self, operator, exact):
+        signal = np.zeros(40)
+        signal[0] = 1.0
+        base = forward_push(operator, signal, alpha=0.5, tol=1e-11)
+        delta = np.zeros(40)
+        delta[5] = 2.0
+        patched, _ = push_refresh(
+            operator, base.estimate, delta, alpha=0.5, tol=1e-11
+        )
+        assert patched.shape == (40,)
+        assert np.max(np.abs(patched - exact(signal + delta, 0.5))) < 1e-8
+
+    def test_shape_mismatch_rejected(self, operator):
+        with pytest.raises(ValueError, match="match"):
+            push_refresh(operator, np.zeros((40, 2)), np.zeros((40, 3)))
+
+    def test_sparse_delta_cheaper_than_cold_start(self, operator):
+        """Work scales with the change, not the network (single-row delta)."""
+        rng = np.random.default_rng(17)
+        before = rng.standard_normal((40, 4))
+        cold = forward_push(operator, before, alpha=0.7, tol=1e-6)
+        delta = np.zeros_like(before)
+        delta[3] = 1e-3  # a small local change
+        _, result = push_refresh(
+            operator, cold.estimate, delta, alpha=0.7, tol=1e-6
+        )
+        assert result.edge_operations < cold.edge_operations

@@ -1,0 +1,82 @@
+"""Tests for the churn refresh strategies (simulation layer)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.graphs.generators import connected_watts_strogatz
+from repro.gsp.filters import PersonalizedPageRank
+from repro.gsp.normalization import transition_matrix
+from repro.simulation.refresh import (
+    REFRESH_STRATEGIES,
+    SignalRefresher,
+)
+
+ALPHA = 0.5
+
+
+@pytest.fixture(scope="module")
+def operator():
+    adjacency = CompressedAdjacency.from_networkx(
+        connected_watts_strogatz(60, 4, 0.2, seed=21)
+    )
+    return transition_matrix(adjacency, "column")
+
+
+@pytest.fixture(scope="module")
+def signals():
+    rng = np.random.default_rng(4)
+    before = rng.standard_normal(60)
+    after = before.copy()
+    after[10] += 2.0
+    after[30] = 0.0
+    return before, after
+
+
+def exact(operator, signal):
+    return PersonalizedPageRank(ALPHA, method="solve").apply(operator, signal)
+
+
+class TestSignalRefresher:
+    def test_cold_start_matches_solve(self, operator, signals):
+        before, _ = signals
+        refresher = SignalRefresher(operator, ALPHA, tol=1e-10)
+        outcome = refresher.cold_start(before)
+        assert outcome.edge_operations > 0
+        assert np.max(np.abs(outcome.scores - exact(operator, before))) < 1e-8
+
+    def test_stale_is_free_and_unchanged(self, operator, signals):
+        before, after = signals
+        refresher = SignalRefresher(operator, ALPHA, tol=1e-10)
+        base = refresher.cold_start(before)
+        outcome = refresher.refresh("stale", base.scores, before, after)
+        assert outcome.edge_operations == 0
+        assert outcome.sweeps == 0
+        assert np.array_equal(outcome.scores, base.scores)
+
+    @pytest.mark.parametrize("strategy", ["incremental", "full"])
+    def test_refresh_restores_exact_scores(self, operator, signals, strategy):
+        before, after = signals
+        refresher = SignalRefresher(operator, ALPHA, tol=1e-10)
+        base = refresher.cold_start(before)
+        outcome = refresher.refresh(strategy, base.scores, before, after)
+        assert outcome.strategy == strategy
+        assert np.max(np.abs(outcome.scores - exact(operator, after))) < 1e-7
+
+    def test_incremental_and_full_agree(self, operator, signals):
+        before, after = signals
+        refresher = SignalRefresher(operator, ALPHA, tol=1e-10)
+        base = refresher.cold_start(before)
+        incremental = refresher.refresh("incremental", base.scores, before, after)
+        full = refresher.refresh("full", base.scores, before, after)
+        assert np.max(np.abs(incremental.scores - full.scores)) < 1e-7
+
+    def test_unknown_strategy_rejected(self, operator, signals):
+        before, after = signals
+        refresher = SignalRefresher(operator, ALPHA)
+        base = refresher.cold_start(before)
+        with pytest.raises(ValueError, match="strategy"):
+            refresher.refresh("lazy", base.scores, before, after)
+
+    def test_strategy_tuple_stable(self):
+        assert REFRESH_STRATEGIES == ("stale", "incremental", "full")

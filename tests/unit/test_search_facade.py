@@ -91,6 +91,146 @@ class TestDiffusionLifecycle:
         assert np.allclose(mean_net.personalization()[0], [1.0, 1.0])
 
 
+class TestIncrementalRefresh:
+    def test_dirty_nodes_track_changes(self, net):
+        assert net.dirty_nodes == frozenset()
+        net.place_document("a", np.ones(3), 2)
+        net.place_document("b", np.ones(3), 5)
+        assert net.dirty_nodes == frozenset({2, 5})
+        net.diffuse()
+        assert net.dirty_nodes == frozenset()
+        net.remove_document("a")
+        assert net.dirty_nodes == frozenset({2})
+
+    def test_clear_documents_marks_occupied_nodes(self, net):
+        net.place_document("a", np.ones(3), 2)
+        net.diffuse()
+        net.clear_documents()
+        assert net.dirty_nodes == frozenset({2})
+
+    def test_single_placement_matches_exact_solve(self, net):
+        """Acceptance: incremental patch ≡ full solve within 1e-6."""
+        rng = np.random.default_rng(0)
+        for i in range(6):
+            net.place_document(f"d{i}", rng.standard_normal(3), i)
+        net.diffuse(method="push", tol=1e-10)
+        net.place_document("new", rng.standard_normal(3), 7)
+        outcome = net.diffuse(method="push", tol=1e-10)
+        assert outcome.incremental
+        exact = net.diffuse(method="solve", incremental=False)
+        assert np.max(np.abs(outcome.embeddings - exact.embeddings)) < 1e-6
+
+    def test_removal_matches_exact_solve(self, net):
+        rng = np.random.default_rng(1)
+        for i in range(6):
+            net.place_document(f"d{i}", rng.standard_normal(3), i)
+        net.diffuse(method="push", tol=1e-10)
+        net.remove_document("d3")
+        outcome = net.diffuse(method="push", tol=1e-10)
+        assert outcome.incremental
+        exact = net.diffuse(method="solve", incremental=False)
+        assert np.max(np.abs(outcome.embeddings - exact.embeddings)) < 1e-6
+
+    def test_first_push_diffusion_is_cold_start(self, net):
+        net.place_document("a", np.ones(3), 0)
+        outcome = net.diffuse(method="push")
+        assert not outcome.incremental
+
+    def test_incremental_after_power_base(self, net):
+        """A push patch composes with any previously cached diffusion."""
+        net.place_document("a", np.ones(3), 0)
+        net.diffuse(method="power", tol=1e-12)
+        net.place_document("b", np.ones(3), 4)
+        outcome = net.diffuse(method="push", tol=1e-10)
+        assert outcome.incremental
+        exact = net.diffuse(method="solve", incremental=False)
+        assert np.max(np.abs(outcome.embeddings - exact.embeddings)) < 1e-6
+
+    def test_forced_incremental_without_base_rejected(self, net):
+        net.place_document("a", np.ones(3), 0)
+        with pytest.raises(ValueError, match="previous diffusion"):
+            net.diffuse(method="push", incremental=True)
+
+    def test_forced_incremental_on_non_push_backend_rejected(self, net):
+        net.place_document("a", np.ones(3), 0)
+        net.diffuse()
+        with pytest.raises(ValueError, match="incremental"):
+            net.diffuse(method="power", incremental=True)
+
+    def test_noop_refresh_costs_nothing(self, net):
+        net.place_document("a", np.ones(3), 0)
+        net.diffuse(method="push")
+        outcome = net.diffuse(method="push")
+        assert outcome.incremental
+        assert outcome.iterations == 0
+        assert outcome.operations == 0
+
+    def test_truncated_incremental_patch_not_committed(self, net):
+        """A sweep-capped patch must not advance the baseline (the lost
+        correction would become permanently invisible)."""
+        rng = np.random.default_rng(3)
+        net.place_document("a", rng.standard_normal(3), 0)
+        net.diffuse(method="push", tol=1e-10)
+        before = net.embeddings.copy()
+        net.place_document("b", 10.0 * np.ones(3), 4)
+        truncated = net.diffuse(method="push", tol=1e-12, max_iterations=1)
+        assert truncated.incremental and not truncated.converged
+        assert net.is_stale
+        assert net.dirty_nodes == frozenset({4})
+        assert np.array_equal(net.embeddings, before)
+        # A retry with budget re-diffuses the full delta and is exact.
+        retried = net.diffuse(method="push", tol=1e-10)
+        assert retried.incremental and retried.converged
+        exact = net.diffuse(method="solve", incremental=False)
+        assert np.max(np.abs(retried.embeddings - exact.embeddings)) < 1e-6
+
+    def test_unconverged_cold_start_is_not_a_baseline(self, net):
+        """A truncated full run must not seed incremental refreshes — its
+        residual would be invisible to every later delta patch."""
+        rng = np.random.default_rng(4)
+        net.place_document("a", rng.standard_normal(3), 0)
+        truncated = net.diffuse(method="push", tol=1e-12, max_iterations=1)
+        assert not truncated.converged
+        net.place_document("b", rng.standard_normal(3), 4)
+        outcome = net.diffuse(method="push", tol=1e-10)
+        assert not outcome.incremental  # fell back to a full run
+        exact = net.diffuse(method="solve", incremental=False)
+        assert np.max(np.abs(outcome.embeddings - exact.embeddings)) < 1e-6
+
+    def test_out_of_band_store_mutation_still_corrected(self, net):
+        """The delta is the full personalization difference, so changes
+        made directly to a store (bypassing place_document and the dirty
+        marks) are still folded into the incremental patch."""
+        net.place_document("a", np.ones(3), 0)
+        net.diffuse(method="push", tol=1e-10)
+        net.stores[0].add("sneaky", np.array([0.0, 2.0, 0.0]))
+        outcome = net.diffuse(method="push", tol=1e-10)
+        assert outcome.incremental
+        exact = net.diffuse(method="solve", incremental=False)
+        assert np.max(np.abs(outcome.embeddings - exact.embeddings)) < 1e-6
+
+    def test_accumulated_residual_tracks_patches(self, net):
+        """Drift bound grows across patches and resets on a full run."""
+        rng = np.random.default_rng(2)
+        net.place_document("a", rng.standard_normal(3), 0)
+        net.diffuse(method="push", tol=1e-6)
+        base = net.accumulated_residual
+        for i in range(3):
+            net.place_document(f"b{i}", rng.standard_normal(3), i + 1)
+            net.diffuse(method="push", tol=1e-6)
+        assert net.accumulated_residual >= base
+        net.diffuse(method="solve", incremental=False)
+        assert net.accumulated_residual == 0.0
+
+    def test_search_after_incremental_refresh(self, net):
+        net.place_document("decoy", np.array([0.0, 1.0, 0.0]), 1)
+        net.diffuse(method="push", tol=1e-10)
+        net.place_document("gold", np.array([1.0, 0.0, 0.0]), 4)
+        net.diffuse(method="push", tol=1e-10)
+        result = net.search(np.array([1.0, 0.0, 0.0]), start_node=2, ttl=8)
+        assert result.found("gold", top=1)
+
+
 class TestSearch:
     def test_finds_local_document(self, net):
         net.place_document("gold", np.array([1.0, 0.0, 0.0]), 3)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.staleness import staleness_sweep
+from repro.experiments.staleness import refresh_strategy_sweep, staleness_sweep
 
 
 class TestStalenessSweep:
@@ -40,3 +40,58 @@ class TestStalenessSweep:
         assert main(["--iterations", "3", "--documents", "100"]) == 0
         out = capsys.readouterr().out
         assert "stale" in out
+
+
+class TestRefreshStrategySweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return refresh_strategy_sweep(
+            n_documents=200,
+            stale_fractions=(0.0, 0.5),
+            iterations=10,
+        )
+
+    def test_one_row_per_fraction_and_strategy(self, rows):
+        keys = [(row["stale fraction"], row["strategy"]) for row in rows]
+        assert keys == [
+            (0.0, "stale"),
+            (0.0, "incremental"),
+            (0.0, "full"),
+            (0.5, "stale"),
+            (0.5, "incremental"),
+            (0.5, "full"),
+        ]
+
+    def test_stale_strategy_costs_nothing(self, rows):
+        for row in rows:
+            if row["strategy"] == "stale":
+                assert row["mean sweeps"] == 0.0
+                assert row["mean edge ops"] == 0.0
+
+    def test_refresh_strategies_restore_same_accuracy(self, rows):
+        """Both exact strategies route on (numerically) identical scores."""
+        by_key = {
+            (row["stale fraction"], row["strategy"]): row["success rate"]
+            for row in rows
+        }
+        for fraction in (0.0, 0.5):
+            assert by_key[fraction, "incremental"] == pytest.approx(
+                by_key[fraction, "full"], abs=0.05
+            )
+
+    def test_no_churn_incremental_is_free(self, rows):
+        for row in rows:
+            if row["stale fraction"] == 0.0 and row["strategy"] == "incremental":
+                assert row["mean edge ops"] == 0.0
+
+    def test_full_always_pays_cold_start(self, rows):
+        for row in rows:
+            if row["strategy"] == "full":
+                assert row["mean edge ops"] > 0.0
+
+    def test_cli_refresh_flag(self, capsys):
+        from repro.experiments.staleness import main
+
+        assert main(["--refresh", "--iterations", "2", "--documents", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental" in out
