@@ -23,6 +23,7 @@ paper-vs-measured record of every table and figure.
 
 from repro.core.search import DiffusionSearchNetwork
 from repro.core.engine import SearchResult, WalkConfig, run_query
+from repro.core.batch import run_queries
 from repro.core.backends import (
     DiffusionBackend,
     available_backends,
@@ -64,6 +65,7 @@ __all__ = [
     "SearchResult",
     "WalkConfig",
     "run_query",
+    "run_queries",
     "DiffusionOutcome",
     "diffuse_embeddings",
     "refresh_embeddings",

@@ -35,6 +35,7 @@ from repro.core.forwarding import (
     RandomWalkPolicy,
 )
 from repro.core.engine import WalkConfig, SearchResult, run_query
+from repro.core.batch import run_queries
 from repro.core.aggregation import (
     ChannelHasher,
     MaxChannelPolicy,
@@ -64,6 +65,7 @@ __all__ = [
     "WalkConfig",
     "SearchResult",
     "run_query",
+    "run_queries",
     "ChannelHasher",
     "MaxChannelPolicy",
     "channel_personalization",

@@ -177,8 +177,10 @@ def run_query(
     )
     # Per-(query, node) neighbor memory: who this node received from or
     # forwarded to.  Kept engine-side but indexed per node — identical
-    # information to the distributed implementation.
-    memory: dict[int, set[int]] = {}
+    # information to the distributed implementation.  Each entry is a boolean
+    # mask over the node's (sorted) CSR neighbor row, so the membership test
+    # is a single fancy-index instead of a per-hop set→list→``np.isin`` scan.
+    memory: dict[int, np.ndarray] = {}
 
     def visit(node: int, hop: int) -> None:
         result.visits.append((hop, node))
@@ -192,15 +194,22 @@ def run_query(
         if neighbors.size == 0:
             return neighbors
         seen = memory.get(node)
-        if seen:
-            mask = np.isin(neighbors, list(seen), invert=True, assume_unique=True)
-            candidates = neighbors[mask]
-        else:
-            candidates = neighbors
+        candidates = neighbors if seen is None else neighbors[~seen]
         if candidates.size == 0:
             # Footnote 9: don't waste the remaining TTL — consider everyone.
             candidates = neighbors
         return policy.select(query_embedding, candidates, fanout, rng)
+
+    def remember(node: int, other: int) -> None:
+        """Mark ``other`` in ``node``'s neighbor-row memory mask."""
+        neighbors = adjacency.neighbors(node)
+        position = int(np.searchsorted(neighbors, other))
+        if position >= neighbors.shape[0] or neighbors[position] != other:
+            return  # not adjacent: can never be filtered, nothing to record
+        seen = memory.get(node)
+        if seen is None:
+            seen = memory[node] = np.zeros(neighbors.shape[0], dtype=bool)
+        seen[position] = True
 
     # Walker queue processed in hop order: (node, hop, remaining ttl before
     # this node's decrement, fanout for this node's forwarding decision).
@@ -215,8 +224,8 @@ def run_query(
             continue  # Fig. 1 step 4b: discard (response backtracks)
         for target in next_hops(node, fanout):
             target = int(target)
-            memory.setdefault(node, set()).add(target)
-            memory.setdefault(target, set()).add(node)
+            remember(node, target)
+            remember(target, node)
             result.messages += 1
             frontier.append((target, hop + 1, ttl, 1))
 

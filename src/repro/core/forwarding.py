@@ -10,6 +10,7 @@ the same interface, so the walk engine runs them all identically.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 import numpy as np
 
@@ -17,6 +18,31 @@ from repro.embeddings.similarity import dot_scores
 from repro.graphs.adjacency import CompressedAdjacency
 from repro.retrieval.scoring import top_k_indices
 from repro.utils import check_positive
+
+
+def _segment_top_k(
+    keys: np.ndarray,
+    offsets: np.ndarray,
+    fanouts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-segment top-k over a flat key array (descending, ties by position).
+
+    ``keys`` concatenates one score segment per walk; ``offsets`` are the
+    ``(S+1,)`` segment boundaries.  Returns flat indices into ``keys`` of each
+    segment's best ``fanouts[s]`` entries (best first within a segment,
+    segments in order) plus the ``(S+1,)`` boundaries of the selection.  The
+    ordering matches :func:`repro.retrieval.scoring.top_k_indices` applied
+    per segment, which keeps batch walks bit-identical to scalar ones.
+    """
+    total = keys.shape[0]
+    lens = np.diff(offsets)
+    segments = np.repeat(np.arange(lens.shape[0]), lens)
+    order = np.lexsort((np.arange(total), -keys, segments))
+    counts = np.minimum(np.asarray(fanouts, dtype=np.int64), lens)
+    rank = np.arange(total) - np.repeat(offsets[:-1], lens)
+    chosen = order[rank < np.repeat(counts, lens)]
+    chosen_offsets = np.concatenate(([0], np.cumsum(counts)))
+    return chosen, chosen_offsets
 
 
 class ForwardingPolicy(ABC):
@@ -31,6 +57,60 @@ class ForwardingPolicy(ABC):
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Return up to ``fanout`` node ids drawn from ``candidates``."""
+
+    def select_batch(
+        self,
+        query_embeddings: np.ndarray,
+        candidates: np.ndarray,
+        offsets: np.ndarray,
+        fanouts: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Select next hops for ``S`` walks at once (batch engine hook).
+
+        ``candidates`` concatenates one candidate segment per walk (node ids,
+        ascending within a segment); segment ``s`` spans
+        ``candidates[offsets[s]:offsets[s + 1]]`` and is scored against
+        ``query_embeddings[s]`` with per-walk generator ``rngs[s]``.  Returns
+        ``(chosen, chosen_offsets)`` where ``chosen`` holds flat indices into
+        ``candidates`` (selection order within each segment) and
+        ``chosen_offsets`` the per-segment boundaries of ``chosen``.
+
+        The base implementation falls back to one :meth:`select` call per
+        segment, so custom scalar policies work in the batch engine
+        unchanged; built-in policies override it with array-level selection.
+        """
+        chosen_parts: list[np.ndarray] = []
+        counts = np.zeros(len(rngs), dtype=np.int64)
+        for s, rng in enumerate(rngs):
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            if hi == lo:
+                continue
+            segment = candidates[lo:hi]
+            picked = np.asarray(
+                self.select(query_embeddings[s], segment, int(fanouts[s]), rng),
+                dtype=np.int64,
+            )
+            if picked.size == 0:
+                continue
+            positions = np.searchsorted(segment, picked)
+            in_range = positions < segment.shape[0]
+            if not (
+                np.all(in_range)
+                and np.array_equal(segment[positions[in_range]], picked[in_range])
+            ):
+                raise ValueError(
+                    f"policy {self.describe()!r} selected nodes outside its "
+                    "candidate set; select() must return a subset of candidates"
+                )
+            chosen_parts.append(lo + positions)
+            counts[s] = positions.shape[0]
+        chosen = (
+            np.concatenate(chosen_parts)
+            if chosen_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        return chosen, np.concatenate(([0], np.cumsum(counts)))
 
     def describe(self) -> str:
         """Short human-readable policy name for reports."""
@@ -88,6 +168,30 @@ class EmbeddingGuidedPolicy(ForwardingPolicy):
         chosen = rng.choice(candidates.size, size=count, replace=False, p=probs)
         return candidates[np.sort(chosen)]
 
+    def select_batch(
+        self,
+        query_embeddings: np.ndarray,
+        candidates: np.ndarray,
+        offsets: np.ndarray,
+        fanouts: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self.temperature != 0.0:
+            # Stochastic exploration keeps the per-segment sampling of the
+            # scalar path (one draw per walk from its own generator).
+            return super().select_batch(
+                query_embeddings, candidates, offsets, fanouts, rngs
+            )
+        # Scores are computed with the same dot_scores call per segment as
+        # the scalar path (bit-identical floats); only membership filtering
+        # and the top-k selection are batched.
+        scores = np.empty(candidates.shape[0], dtype=np.float64)
+        for s in range(len(rngs)):
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            if hi > lo:
+                scores[lo:hi] = self.scores(query_embeddings[s], candidates[lo:hi])
+        return _segment_top_k(scores, offsets, fanouts)
+
     def describe(self) -> str:
         if self.temperature:
             return f"embedding-guided(T={self.temperature})"
@@ -124,6 +228,16 @@ class PrecomputedScorePolicy(ForwardingPolicy):
             return candidates
         return candidates[top_k_indices(self.node_scores[candidates], fanout)]
 
+    def select_batch(
+        self,
+        query_embeddings: np.ndarray,
+        candidates: np.ndarray,
+        offsets: np.ndarray,
+        fanouts: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return _segment_top_k(self.node_scores[candidates], offsets, fanouts)
+
     def describe(self) -> str:
         return "embedding-guided(precomputed)"
 
@@ -145,6 +259,30 @@ class RandomWalkPolicy(ForwardingPolicy):
         count = min(fanout, candidates.size)
         chosen = rng.choice(candidates.size, size=count, replace=False)
         return candidates[np.sort(chosen)]
+
+    def select_batch(
+        self,
+        query_embeddings: np.ndarray,
+        candidates: np.ndarray,
+        offsets: np.ndarray,
+        fanouts: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # A uniform subset without replacement equals keeping the largest
+        # random keys; keys come from each walk's own generator, so batch
+        # walks stay distributionally equivalent to scalar ones per walk.
+        keys = np.empty(candidates.shape[0], dtype=np.float64)
+        for s, rng in enumerate(rngs):
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            if hi > lo:
+                keys[lo:hi] = rng.random(hi - lo)
+        chosen, chosen_offsets = _segment_top_k(keys, offsets, fanouts)
+        # Scalar select() returns its subset in ascending candidate order;
+        # restore that ordering within each segment.
+        segments = np.repeat(
+            np.arange(len(rngs)), np.diff(chosen_offsets)
+        )
+        return chosen[np.lexsort((chosen, segments))], chosen_offsets
 
     def describe(self) -> str:
         return "random-walk"
@@ -173,6 +311,17 @@ class DegreeBiasedPolicy(ForwardingPolicy):
             return candidates
         scores = self.degrees[candidates].astype(np.float64)
         return candidates[top_k_indices(scores, fanout)]
+
+    def select_batch(
+        self,
+        query_embeddings: np.ndarray,
+        candidates: np.ndarray,
+        offsets: np.ndarray,
+        fanouts: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        scores = self.degrees[candidates].astype(np.float64)
+        return _segment_top_k(scores, offsets, fanouts)
 
     def describe(self) -> str:
         return "degree-biased"

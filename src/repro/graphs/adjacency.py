@@ -59,6 +59,7 @@ class CompressedAdjacency:
         # by repro.gsp.normalization.transition_matrix; sound because the
         # adjacency is immutable.  Cached matrices are shared — read-only.
         self._operator_cache: dict[tuple[str, str], sp.spmatrix] = {}
+        self._reverse_edges: np.ndarray | None = None
 
     # ---------------------------------------------------------- construction
 
@@ -125,6 +126,27 @@ class CompressedAdjacency:
     def label_of(self, node: int) -> Hashable:
         """Original label of internal id ``node``."""
         return self.labels[node]
+
+    @property
+    def reverse_edge_positions(self) -> np.ndarray:
+        """CSR position of each directed edge's reverse (lazily cached).
+
+        For the edge stored at CSR position ``e`` (``u → indices[e]``),
+        ``reverse_edge_positions[e]`` is the CSR position of the opposite
+        direction (``indices[e] → u``).  This lets the walk engines mark the
+        symmetric per-(query, node) neighbor memory of paper §IV-C with two
+        array writes instead of set operations.  Treat as read-only.
+        """
+        if self._reverse_edges is None:
+            src = np.repeat(np.arange(self.n_nodes, dtype=np.int64), self._degrees)
+            # CSR order sorts directed edges by (src, dst); sorting them by
+            # (dst, src) instead aligns rank r with the edge whose reverse
+            # sits at CSR position r, because the graph is symmetric.
+            perm = np.lexsort((src, self.indices))
+            rev = np.empty(self.indices.shape[0], dtype=np.int64)
+            rev[perm] = np.arange(self.indices.shape[0], dtype=np.int64)
+            self._reverse_edges = rev
+        return self._reverse_edges
 
     def has_edge(self, u: int, v: int) -> bool:
         """True when ``u`` and ``v`` are adjacent (binary search)."""

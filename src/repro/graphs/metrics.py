@@ -7,7 +7,6 @@ document's node define Fig. 3's x-axis).
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,20 +19,35 @@ UNREACHABLE = -1
 
 
 def bfs_distances(adjacency: CompressedAdjacency, source: int) -> np.ndarray:
-    """Hop distance from ``source`` to every node (−1 when unreachable)."""
+    """Hop distance from ``source`` to every node (−1 when unreachable).
+
+    Level-synchronous frontier expansion over the CSR arrays: each level
+    gathers every frontier node's neighbor row in one shot and keeps the
+    still-unlabeled ones, so the cost per level is a handful of array
+    operations instead of a Python loop per edge.  The experiment harness
+    calls this once per iteration, which made the per-edge loop a measurable
+    slice of the Fig. 3 driver.
+    """
     if not 0 <= source < adjacency.n_nodes:
         raise ValueError(f"source {source} out of range")
     dist = np.full(adjacency.n_nodes, UNREACHABLE, dtype=np.int64)
     dist[source] = 0
-    queue: deque[int] = deque([source])
     indptr, indices = adjacency.indptr, adjacency.indices
-    while queue:
-        u = queue.popleft()
-        next_d = dist[u] + 1
-        for v in indices[indptr[u] : indptr[u + 1]]:
-            if dist[v] == UNREACHABLE:
-                dist[v] = next_d
-                queue.append(int(v))
+    iota = np.arange(indices.shape[0], dtype=np.int64)
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        row_starts = indptr[frontier]
+        lens = indptr[frontier + 1] - row_starts
+        offsets = lens.cumsum()
+        total = int(offsets[-1])
+        flat = indices[(row_starts - offsets + lens).repeat(lens) + iota[:total]]
+        fresh = flat[dist[flat] == UNREACHABLE]
+        if fresh.size == 0:
+            break
+        frontier = np.unique(fresh)
+        dist[frontier] = level
     return dist
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from math import exp, lgamma, log
+from typing import Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -83,7 +84,13 @@ class PersonalizedPageRank(GraphFilter):
     alpha:
         Teleport probability ``a`` ∈ (0, 1].  Small alpha ⇒ heavy diffusion
         (long walks, average length ``1/alpha``); large alpha ⇒ light
-        diffusion concentrated near the origin.
+        diffusion concentrated near the origin.  Passing a *sequence* of
+        alphas turns the filter into a multi-column variant: the signal must
+        then have one column per alpha, and all columns diffuse through a
+        shared sweep over the operator (one sparse matmul per iteration
+        instead of one per alpha).  Each column stops at its own convergence
+        criterion, so column ``c`` is bit-identical to a scalar filter run
+        with ``alpha[c]``.
     tol:
         Power-iteration stopping threshold on the max absolute update.
     max_iterations:
@@ -96,39 +103,89 @@ class PersonalizedPageRank(GraphFilter):
 
     def __init__(
         self,
-        alpha: float = 0.5,
+        alpha: float | Sequence[float] = 0.5,
         *,
         tol: float = 1e-9,
         max_iterations: int = 10_000,
         method: str = "power",
     ) -> None:
-        check_probability(alpha, "alpha")
-        if alpha == 0.0:
-            raise ValueError("alpha must be positive (alpha=0 never teleports)")
+        if np.ndim(alpha) == 0:
+            alphas = (float(alpha),)
+            self.alpha: float | tuple[float, ...] = float(alpha)
+        else:
+            alphas = tuple(float(a) for a in np.asarray(alpha, dtype=np.float64))
+            if not alphas:
+                raise ValueError("alpha sequence must be non-empty")
+            self.alpha = alphas
+        for a in alphas:
+            check_probability(a, "alpha")
+            if a == 0.0:
+                raise ValueError("alpha must be positive (alpha=0 never teleports)")
         check_positive(tol, "tol")
         check_positive(max_iterations, "max_iterations")
         if method not in ("power", "solve"):
             raise ValueError(f"method must be 'power' or 'solve', got {method!r}")
-        self.alpha = float(alpha)
+        self._alphas = np.asarray(alphas, dtype=np.float64)
+        self._multi = isinstance(self.alpha, tuple)
         self.tol = float(tol)
         self.max_iterations = int(max_iterations)
         self.method = method
+
+    @staticmethod
+    def _solver_for(operator: sp.spmatrix, alpha: float) -> spla.SuperLU:
+        """Sparse LU of ``I − (1−a) A``, memoized on the operator itself.
+
+        The factorization depends only on (operator, alpha), and operators
+        are immutable and cached per graph (see
+        ``CompressedAdjacency._operator_cache``), so the solver cache rides
+        on the operator object: every filter instance — and every experiment
+        iteration — reuses one factorization per alpha.
+        """
+        cache: dict[float, spla.SuperLU] | None = getattr(
+            operator, "_ppr_lu_cache", None
+        )
+        if cache is None:
+            cache = {}
+            try:
+                operator._ppr_lu_cache = cache
+            except AttributeError:  # pragma: no cover - exotic matrix types
+                pass
+        solver = cache.get(alpha)
+        if solver is None:
+            n = operator.shape[0]
+            system = sp.eye(n, format="csc") - (1.0 - alpha) * operator.tocsc()
+            solver = cache[alpha] = spla.splu(system.tocsc())
+        return solver
 
     def apply_detailed(
         self, operator: sp.spmatrix, signal: np.ndarray
     ) -> DiffusionResult:
         n = operator.shape[0]
         signal, was_vector = coerce_signal(signal, n)
+        if self._multi:
+            if signal.shape[1] != self._alphas.shape[0]:
+                raise ValueError(
+                    f"multi-alpha filter with {self._alphas.shape[0]} alphas "
+                    f"needs one signal column per alpha, got {signal.shape[1]}"
+                )
+            result = self._apply_multi(operator, signal)
+            if was_vector:
+                result = DiffusionResult(
+                    result.signal[:, 0],
+                    result.iterations,
+                    result.residual,
+                    result.converged,
+                )
+            return result
+        alpha = float(self._alphas[0])
         if self.method == "solve":
-            system = sp.eye(n, format="csc") - (1.0 - self.alpha) * operator.tocsc()
-            solver = spla.splu(system.tocsc())
-            result = self.alpha * solver.solve(signal)
+            result = alpha * self._solver_for(operator, alpha).solve(signal)
             out = result[:, 0] if was_vector else result
             return DiffusionResult(out, iterations=1, residual=0.0, converged=True)
 
-        current = signal.copy() * self.alpha  # E(0) after one teleport step
-        teleport = self.alpha * signal
-        damping = 1.0 - self.alpha
+        current = signal.copy() * alpha  # E(0) after one teleport step
+        teleport = alpha * signal
+        damping = 1.0 - alpha
         residual = np.inf
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
@@ -145,14 +202,63 @@ class PersonalizedPageRank(GraphFilter):
             converged=residual < self.tol,
         )
 
+    def _apply_multi(
+        self, operator: sp.spmatrix, signal: np.ndarray
+    ) -> DiffusionResult:
+        """Per-column-alpha diffusion sharing one operator sweep per step.
+
+        Every active column advances through the same ``operator @ current``
+        product; a column freezes at its first sub-``tol`` iterate, exactly
+        where the scalar power loop would have stopped for that alpha, so the
+        shared sweep changes cost but not a single output bit.
+        """
+        alphas = self._alphas
+        if self.method == "solve":
+            result = np.empty_like(signal)
+            for a in np.unique(alphas):
+                columns = np.flatnonzero(alphas == a)
+                solver = self._solver_for(operator, float(a))
+                result[:, columns] = float(a) * solver.solve(signal[:, columns])
+            return DiffusionResult(result, iterations=1, residual=0.0, converged=True)
+
+        teleport = signal * alphas[None, :]
+        current = signal.copy() * alphas[None, :]
+        damping = 1.0 - alphas
+        active = np.ones(alphas.shape[0], dtype=bool)
+        residuals = np.full(alphas.shape[0], np.inf)
+        iterations = np.zeros(alphas.shape[0], dtype=np.int64)
+        step = 0
+        while np.any(active) and step < self.max_iterations:
+            step += 1
+            columns = np.flatnonzero(active)
+            subset = current[:, columns]
+            updated = (operator @ subset) * damping[columns][None, :]
+            updated += teleport[:, columns]
+            if updated.size:
+                residual = np.max(np.abs(updated - subset), axis=0)
+            else:
+                residual = np.zeros(columns.shape[0])
+            current[:, columns] = updated
+            residuals[columns] = residual
+            iterations[columns] = step
+            active[columns] = residual >= self.tol
+        return DiffusionResult(
+            current,
+            iterations=int(iterations.max(initial=0)),
+            residual=float(residuals.max(initial=0.0)),
+            converged=not bool(np.any(active)),
+        )
+
     def expected_walk_length(self) -> float:
         """Mean number of steps before teleport: ``(1 − a) / a``.
 
         The paper describes the diffusion radius as "a short walk of average
         length 1/a"; the geometric walk's exact mean is ``(1−a)/a`` — both
-        capture the same scaling in ``1/a``.
+        capture the same scaling in ``1/a``.  For a multi-alpha filter this
+        reports the mean over the heaviest diffusion (smallest alpha).
         """
-        return (1.0 - self.alpha) / self.alpha
+        smallest = float(self._alphas.min())
+        return (1.0 - smallest) / smallest
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"PersonalizedPageRank(alpha={self.alpha}, method={self.method!r})"

@@ -32,7 +32,11 @@ class DocumentStore:
 
     Embeddings are kept in a contiguous matrix so a query is scored against
     every local document with a single matrix-vector product (the exact
-    retrieval of eq. 1, cheap at per-node collection sizes).
+    retrieval of eq. 1, cheap at per-node collection sizes).  The matrix is
+    an amortized-doubling capacity buffer: ``add`` appends into spare rows
+    and only reallocates when the buffer is full, so building a store of
+    ``m`` documents copies O(m) rows instead of the O(m²) of re-stacking the
+    whole matrix per document.
     """
 
     def __init__(self, dim: int) -> None:
@@ -41,42 +45,93 @@ class DocumentStore:
         self.dim = int(dim)
         self._doc_ids: list[Hashable] = []
         self._positions: dict[Hashable, int] = {}
+        # Capacity buffer; rows beyond len(self._doc_ids) are uninitialized.
         self._matrix = np.empty((0, dim), dtype=np.float64)
+
+    @classmethod
+    def from_documents(
+        cls,
+        dim: int,
+        doc_ids: Iterable[Hashable],
+        embeddings: np.ndarray,
+    ) -> "DocumentStore":
+        """Bulk-build a store from aligned ids and an embedding matrix.
+
+        One validation and one matrix copy for the whole collection — the
+        fast path for the simulation drivers, which build hundreds of stores
+        per iteration.  Duplicate ids fall back to sequential ``add``
+        semantics (later occurrences replace earlier ones).
+        """
+        store = cls(dim)
+        matrix = np.array(embeddings, dtype=np.float64, ndmin=2)
+        ids = list(doc_ids)
+        if matrix.shape != (len(ids), store.dim):
+            raise ValueError(
+                f"embeddings must have shape ({len(ids)}, {store.dim}), "
+                f"got {matrix.shape}"
+            )
+        positions = {doc_id: i for i, doc_id in enumerate(ids)}
+        if len(positions) != len(ids):
+            store.add_many(
+                StoredDocument(doc_id, matrix[i]) for i, doc_id in enumerate(ids)
+            )
+            return store
+        store._doc_ids = ids
+        store._positions = positions
+        store._matrix = matrix
+        return store
 
     # ------------------------------------------------------------- mutation
 
-    def add(self, doc_id: Hashable, embedding: np.ndarray) -> None:
-        """Add a document; re-adding an existing id replaces its embedding."""
-        embedding = np.asarray(embedding, dtype=np.float64)
+    def _reserve(self, extra: int) -> None:
+        """Grow the buffer (geometrically) to fit ``extra`` more rows."""
+        needed = len(self._doc_ids) + extra
+        capacity = self._matrix.shape[0]
+        if needed <= capacity:
+            return
+        grown = np.empty(
+            (max(needed, 2 * capacity, 4), self.dim), dtype=np.float64
+        )
+        grown[: len(self._doc_ids)] = self._matrix[: len(self._doc_ids)]
+        self._matrix = grown
+
+    def _check_shape(self, embedding: np.ndarray) -> None:
         if embedding.shape != (self.dim,):
             raise ValueError(
                 f"embedding must have shape ({self.dim},), got {embedding.shape}"
             )
-        if doc_id in self._positions:
-            self._matrix[self._positions[doc_id]] = embedding
+
+    def add(self, doc_id: Hashable, embedding: np.ndarray) -> None:
+        """Add a document; re-adding an existing id replaces its embedding."""
+        embedding = np.asarray(embedding, dtype=np.float64)
+        self._check_shape(embedding)
+        position = self._positions.get(doc_id)
+        if position is not None:
+            self._matrix[position] = embedding
             return
+        self._reserve(1)
+        self._matrix[len(self._doc_ids)] = embedding
         self._positions[doc_id] = len(self._doc_ids)
         self._doc_ids.append(doc_id)
-        self._matrix = np.vstack([self._matrix, embedding[None, :]])
 
     def add_many(self, documents: Iterable[StoredDocument]) -> None:
-        """Add several documents (single reallocation for the common path)."""
-        new_docs = [d for d in documents]
-        fresh = [d for d in new_docs if d.doc_id not in self._positions]
-        replace = [d for d in new_docs if d.doc_id in self._positions]
-        for doc in replace:
-            self._matrix[self._positions[doc.doc_id]] = doc.embedding
-        if fresh:
-            for doc in fresh:
-                if doc.embedding.shape != (self.dim,):
-                    raise ValueError(
-                        f"embedding must have shape ({self.dim},), "
-                        f"got {doc.embedding.shape}"
-                    )
-                self._positions[doc.doc_id] = len(self._doc_ids)
+        """Add several documents atomically w.r.t. validation.
+
+        Every embedding's shape is checked before the first row is written,
+        so a bad document mid-batch cannot leave the store half-updated.
+        """
+        new_docs = list(documents)
+        for doc in new_docs:
+            self._check_shape(doc.embedding)
+        fresh_ids = {d.doc_id for d in new_docs} - self._positions.keys()
+        self._reserve(len(fresh_ids))
+        for doc in new_docs:
+            position = self._positions.get(doc.doc_id)
+            if position is None:
+                position = len(self._doc_ids)
+                self._positions[doc.doc_id] = position
                 self._doc_ids.append(doc.doc_id)
-            block = np.vstack([doc.embedding[None, :] for doc in fresh])
-            self._matrix = np.vstack([self._matrix, block])
+            self._matrix[position] = doc.embedding
 
     def remove(self, doc_id: Hashable) -> None:
         """Remove a document (swap-with-last, O(1) row moves)."""
@@ -88,7 +143,6 @@ class DocumentStore:
             self._matrix[pos] = self._matrix[last]
             self._positions[moved_id] = pos
         self._doc_ids.pop()
-        self._matrix = self._matrix[:last]
 
     # -------------------------------------------------------------- queries
 
@@ -111,7 +165,7 @@ class DocumentStore:
         """Dot-product score of ``query`` against every stored document."""
         if len(self._doc_ids) == 0:
             return np.empty(0, dtype=np.float64)
-        return dot_scores(query, self._matrix)
+        return dot_scores(query, self._matrix[: len(self._doc_ids)])
 
     def top_k(self, query: np.ndarray, k: int) -> list[tuple[Hashable, float]]:
         """Best ``k`` local documents as ``(doc_id, score)``, best first."""
@@ -129,8 +183,8 @@ class DocumentStore:
         """
         if len(self._doc_ids) == 0:
             return np.zeros(self.dim, dtype=np.float64)
-        return self._matrix.sum(axis=0)
+        return self._matrix[: len(self._doc_ids)].sum(axis=0)
 
     def matrix(self) -> np.ndarray:
         """The ``(n_docs, dim)`` embedding matrix (copy)."""
-        return self._matrix.copy()
+        return self._matrix[: len(self._doc_ids)].copy()

@@ -11,7 +11,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
-from repro.retrieval.vector_store import DocumentStore, StoredDocument
+from repro.retrieval.vector_store import DocumentStore
 from repro.utils import check_positive, check_probability, ensure_rng
 from repro.utils.rng import RngLike
 
@@ -92,12 +92,17 @@ def build_stores(
         raise ValueError("doc_ids, embeddings and nodes must be aligned")
     stores: dict[int, DocumentStore] = {}
     order = np.argsort(nodes, kind="stable")
-    boundaries = np.flatnonzero(np.diff(nodes[order])) + 1
-    for group in np.split(order, boundaries):
-        node = int(nodes[group[0]])
-        store = DocumentStore(dim)
-        store.add_many(
-            StoredDocument(doc_ids[int(i)], embeddings[int(i)]) for i in group
+    sorted_nodes = nodes[order]
+    sorted_embeddings = embeddings[order]
+    boundaries = np.flatnonzero(np.diff(sorted_nodes)) + 1
+    starts = [0, *boundaries.tolist()]
+    ends = [*boundaries.tolist(), order.shape[0]]
+    order_list = order.tolist()
+    node_list = sorted_nodes.tolist()
+    for lo, hi in zip(starts, ends):
+        stores[node_list[lo]] = DocumentStore.from_documents(
+            dim,
+            [doc_ids[i] for i in order_list[lo:hi]],
+            sorted_embeddings[lo:hi],
         )
-        stores[node] = store
     return stores

@@ -104,3 +104,32 @@ class TestConversion:
         graph = nx.Graph([("a", "b")])
         adj = CompressedAdjacency.from_networkx(graph)
         assert set(adj.to_networkx().nodes()) == {"a", "b"}
+
+
+class TestReverseEdgePositions:
+    def test_reverse_is_an_involution(self, triangle_plus_tail):
+        rev = triangle_plus_tail.reverse_edge_positions
+        assert np.array_equal(rev[rev], np.arange(rev.shape[0]))
+
+    def test_reverse_maps_to_opposite_direction(self, triangle_plus_tail):
+        adj = triangle_plus_tail
+        rev = adj.reverse_edge_positions
+        src = np.repeat(np.arange(adj.n_nodes), np.diff(adj.indptr))
+        for position in range(adj.indices.shape[0]):
+            u, v = src[position], adj.indices[position]
+            assert src[rev[position]] == v
+            assert adj.indices[rev[position]] == u
+
+    def test_cached_instance_reused(self, triangle_plus_tail):
+        first = triangle_plus_tail.reverse_edge_positions
+        assert triangle_plus_tail.reverse_edge_positions is first
+
+    def test_random_graph(self):
+        import networkx as nx
+
+        graph = nx.gnp_random_graph(40, 0.2, seed=5)
+        adj = CompressedAdjacency.from_networkx(graph)
+        rev = adj.reverse_edge_positions
+        src = np.repeat(np.arange(adj.n_nodes), np.diff(adj.indptr))
+        assert np.array_equal(src[rev], adj.indices)
+        assert np.array_equal(adj.indices[rev], src)

@@ -3,6 +3,7 @@
 import networkx as nx
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.gsp.filters import HeatKernel, PersonalizedPageRank, PolynomialFilter
 from repro.gsp.normalization import transition_matrix
@@ -198,3 +199,82 @@ class TestPolynomialFilter:
     def test_empty_coefficients_rejected(self):
         with pytest.raises(ValueError):
             PolynomialFilter(np.array([]))
+
+
+class TestMultiAlphaPPR:
+    """Per-column-alpha diffusion: one operator sweep shared by all alphas."""
+
+    ALPHAS = (0.1, 0.5, 0.9)
+
+    @pytest.fixture
+    def operator_and_signal(self, operator):
+        rng = np.random.default_rng(17)
+        signal = rng.standard_normal(operator.shape[0])
+        return operator, signal
+
+    def test_power_columns_bit_identical_to_scalar(self, operator_and_signal):
+        operator, signal = operator_and_signal
+        stacked = np.repeat(signal[:, None], len(self.ALPHAS), axis=1)
+        multi = PersonalizedPageRank(self.ALPHAS, tol=1e-10).apply(
+            operator, stacked
+        )
+        for j, alpha in enumerate(self.ALPHAS):
+            single = PersonalizedPageRank(alpha, tol=1e-10).apply(
+                operator, signal
+            )
+            assert np.array_equal(multi[:, j], single)
+
+    def test_solve_columns_match_scalar_solve(self, operator_and_signal):
+        operator, signal = operator_and_signal
+        stacked = np.repeat(signal[:, None], len(self.ALPHAS), axis=1)
+        multi = PersonalizedPageRank(self.ALPHAS, method="solve").apply(
+            operator, stacked
+        )
+        for j, alpha in enumerate(self.ALPHAS):
+            single = PersonalizedPageRank(alpha, method="solve").apply(
+                operator, signal
+            )
+            assert np.allclose(multi[:, j], single, atol=1e-12)
+
+    def test_solve_matches_power_within_tolerance(self, operator_and_signal):
+        operator, signal = operator_and_signal
+        stacked = np.repeat(signal[:, None], len(self.ALPHAS), axis=1)
+        solved = PersonalizedPageRank(self.ALPHAS, method="solve").apply(
+            operator, stacked
+        )
+        powered = PersonalizedPageRank(self.ALPHAS, tol=1e-12).apply(
+            operator, stacked
+        )
+        assert np.allclose(solved, powered, atol=1e-9)
+
+    def test_duplicate_alphas_share_a_factorization(self, operator_and_signal):
+        operator, signal = operator_and_signal
+        stacked = np.repeat(signal[:, None], 3, axis=1)
+        multi = PersonalizedPageRank((0.5, 0.5, 0.1), method="solve").apply(
+            operator, stacked
+        )
+        assert np.allclose(multi[:, 0], multi[:, 1])
+        assert not np.allclose(multi[:, 0], multi[:, 2])
+
+    def test_column_count_must_match_alphas(self, operator_and_signal):
+        operator, signal = operator_and_signal
+        ppr = PersonalizedPageRank(self.ALPHAS)
+        with pytest.raises(ValueError, match="one signal column per alpha"):
+            ppr.apply(operator, np.repeat(signal[:, None], 2, axis=1))
+
+    def test_invalid_alpha_in_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            PersonalizedPageRank((0.5, 0.0))
+        with pytest.raises(ValueError):
+            PersonalizedPageRank(())
+
+    def test_lu_cache_invalidates_on_new_operator(self, operator):
+        """A cached factorization must not leak across operators."""
+        ppr = PersonalizedPageRank(0.5, method="solve")
+        signal = np.zeros(operator.shape[0])
+        signal[0] = 1.0
+        first = ppr.apply(operator, signal)
+        other = sp.identity(operator.shape[0], format="csr") * 0.5
+        second = ppr.apply(other, signal)
+        assert not np.allclose(first, second)
+        assert np.allclose(ppr.apply(operator, signal), first)

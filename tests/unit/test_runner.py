@@ -206,3 +206,96 @@ class TestRunners:
             policy_factory=lambda scores, adj: RandomWalkPolicy(),
         )
         assert informed.successes >= blind.successes
+
+
+class TestMultiColumnDiffusion:
+    ALPHAS = (0.1, 0.5, 0.9)
+
+    def test_columns_match_single_alpha_diffusion(self, sampler):
+        rng = np.random.default_rng(10)
+        data = sampler.sample(25, rng)
+        multi = sampler.diffuse_scores_multi(data.relevance_signal, self.ALPHAS)
+        assert multi.shape == (sampler.adjacency.n_nodes, len(self.ALPHAS))
+        for j, alpha in enumerate(self.ALPHAS):
+            single = sampler.diffuse_scores(data.relevance_signal, alpha)
+            assert np.allclose(multi[:, j], single, atol=1e-9)
+
+    def test_power_method_is_bit_identical(self, sampler):
+        rng = np.random.default_rng(11)
+        data = sampler.sample(25, rng)
+        multi = sampler.diffuse_scores_multi(
+            data.relevance_signal, self.ALPHAS, method="power"
+        )
+        for j, alpha in enumerate(self.ALPHAS):
+            single = sampler.diffuse_scores(data.relevance_signal, alpha)
+            assert np.array_equal(multi[:, j], single)
+
+    def test_single_alpha_column(self, sampler):
+        rng = np.random.default_rng(12)
+        data = sampler.sample(10, rng)
+        multi = sampler.diffuse_scores_multi(data.relevance_signal, (0.5,))
+        assert multi.shape == (sampler.adjacency.n_nodes, 1)
+        single = sampler.diffuse_scores(data.relevance_signal, 0.5)
+        assert np.allclose(multi[:, 0], single, atol=1e-9)
+
+    def test_empty_alphas_rejected(self, sampler):
+        with pytest.raises(ValueError, match="non-empty"):
+            sampler.diffuse_scores_multi(
+                np.zeros(sampler.adjacency.n_nodes), ()
+            )
+
+
+class TestEngineEquivalence:
+    """The batched drivers must reproduce the scalar-loop drivers."""
+
+    def test_accuracy_grids_identical(self, social_adjacency, tiny_workload):
+        scenario = AccuracyScenario(
+            n_documents=20,
+            alphas=(0.1, 0.5, 0.9),
+            max_distance=4,
+            ttl=30,
+            iterations=5,
+            seed=2,
+        )
+        batch = run_accuracy_experiment(social_adjacency, tiny_workload, scenario)
+        scalar = run_accuracy_experiment(
+            social_adjacency, tiny_workload, scenario, engine="scalar"
+        )
+        assert batch.samples == scalar.samples
+        assert batch.successes == scalar.successes
+
+    def test_accuracy_grids_identical_with_fanout(
+        self, social_adjacency, tiny_workload
+    ):
+        scenario = AccuracyScenario(
+            n_documents=15,
+            alphas=(0.5,),
+            max_distance=3,
+            ttl=20,
+            fanout=3,
+            iterations=4,
+            seed=3,
+        )
+        batch = run_accuracy_experiment(social_adjacency, tiny_workload, scenario)
+        scalar = run_accuracy_experiment(
+            social_adjacency, tiny_workload, scenario, engine="scalar"
+        )
+        assert batch.samples == scalar.samples
+        assert batch.successes == scalar.successes
+
+    def test_hop_stats_identical(self, social_adjacency, tiny_workload):
+        scenario = HopCountScenario(
+            n_documents=20, iterations=6, queries_per_iteration=5, seed=4
+        )
+        batch = run_hop_count_experiment(social_adjacency, tiny_workload, scenario)
+        scalar = run_hop_count_experiment(
+            social_adjacency, tiny_workload, scenario, engine="scalar"
+        )
+        assert batch == scalar
+
+    def test_unknown_engine_rejected(self, social_adjacency, tiny_workload):
+        scenario = HopCountScenario(n_documents=5, iterations=1, seed=0)
+        with pytest.raises(ValueError, match="engine"):
+            run_hop_count_experiment(
+                social_adjacency, tiny_workload, scenario, engine="turbo"
+            )

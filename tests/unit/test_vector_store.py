@@ -113,3 +113,107 @@ class TestPersonalizationHook:
         mat = store.matrix()
         mat[:] = 0.0
         assert store.embedding_of("x")[0] == 1.0
+
+
+class TestCapacityBuffer:
+    """Amortized-doubling growth semantics of the embedding buffer."""
+
+    def test_incremental_adds_match_bulk(self):
+        rng = np.random.default_rng(0)
+        incremental = DocumentStore(4)
+        vectors = rng.standard_normal((50, 4))
+        for i in range(50):
+            incremental.add(f"d{i}", vectors[i])
+        assert np.allclose(incremental.matrix(), vectors)
+        assert incremental.doc_ids == [f"d{i}" for i in range(50)]
+
+    def test_buffer_grows_geometrically(self):
+        store = DocumentStore(2)
+        reallocations = 0
+        last_buffer = store._matrix
+        for i in range(64):
+            store.add(f"d{i}", np.zeros(2))
+            if store._matrix is not last_buffer:
+                reallocations += 1
+                last_buffer = store._matrix
+        # doubling: ~log2(64) reallocations, not one per add
+        assert reallocations <= 6
+
+    def test_matrix_excludes_spare_capacity(self):
+        store = DocumentStore(2)
+        for i in range(5):
+            store.add(f"d{i}", np.full(2, float(i)))
+        assert store.matrix().shape == (5, 2)
+        assert store.score(np.ones(2)).shape == (5,)
+        assert np.allclose(store.sum_of_embeddings(), [10.0, 10.0])
+
+    def test_remove_keeps_scores_consistent(self):
+        store = DocumentStore(2)
+        for i in range(8):
+            store.add(f"d{i}", np.full(2, float(i)))
+        store.remove("d3")
+        store.remove("d0")
+        assert len(store) == 6
+        assert store.score(np.ones(2)).shape == (6,)
+        assert "d3" not in store and "d0" not in store
+
+
+class TestAtomicAddMany:
+    def test_bad_embedding_mid_batch_leaves_store_unchanged(self):
+        store = DocumentStore(2)
+        store.add("keep", np.array([1.0, 2.0]))
+        batch = [
+            StoredDocument("a", np.array([0.0, 1.0])),
+            StoredDocument("keep", np.array([9.0, 9.0])),
+            StoredDocument("bad", np.array([0.0, 1.0, 2.0])),
+        ]
+        with pytest.raises(ValueError):
+            store.add_many(batch)
+        # nothing was applied: not the fresh doc, not the replacement
+        assert len(store) == 1
+        assert "a" not in store
+        assert np.allclose(store.embedding_of("keep"), [1.0, 2.0])
+
+    def test_duplicate_ids_within_batch_last_wins(self):
+        store = DocumentStore(2)
+        store.add_many(
+            [
+                StoredDocument("x", np.array([1.0, 0.0])),
+                StoredDocument("x", np.array([2.0, 0.0])),
+            ]
+        )
+        assert len(store) == 1
+        assert store.embedding_of("x")[0] == 2.0
+
+
+class TestFromDocuments:
+    def test_bulk_equivalent_to_adds(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.standard_normal((6, 3))
+        ids = [f"d{i}" for i in range(6)]
+        bulk = DocumentStore.from_documents(3, ids, vectors)
+        manual = DocumentStore(3)
+        for doc_id, vec in zip(ids, vectors):
+            manual.add(doc_id, vec)
+        assert bulk.doc_ids == manual.doc_ids
+        assert np.allclose(bulk.matrix(), manual.matrix())
+
+    def test_does_not_alias_caller_matrix(self):
+        vectors = np.ones((2, 3))
+        store = DocumentStore.from_documents(3, ["a", "b"], vectors)
+        vectors[:] = 0.0
+        assert store.embedding_of("a")[0] == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentStore.from_documents(3, ["a"], np.ones((1, 4)))
+        with pytest.raises(ValueError):
+            DocumentStore.from_documents(3, ["a", "b"], np.ones((1, 3)))
+
+    def test_duplicate_ids_fall_back_to_sequential(self):
+        store = DocumentStore.from_documents(
+            2, ["x", "x", "y"], np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        )
+        assert len(store) == 2
+        assert store.embedding_of("x")[0] == 2.0
+        assert store.embedding_of("y")[0] == 3.0
