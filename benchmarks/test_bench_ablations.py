@@ -28,6 +28,7 @@ def test_alpha_sweep(benchmark, env, bench_iterations):
     emit_report(
         "ablation_alpha_sweep",
         format_rows(rows, title="alpha sweep, M=1000 (paper samples 0.1/0.5/0.9)"),
+        data={"n_documents": 1000, "iterations": bench_iterations, "rows": rows},
     )
     assert len(rows) == 8
     assert all(0 <= row["success rate"] <= 1 for row in rows)
@@ -43,6 +44,7 @@ def test_fanout_sweep(benchmark, env, bench_iterations):
     emit_report(
         "ablation_fanout",
         format_rows(rows, title="parallel walks, M=1000"),
+        data={"n_documents": 1000, "iterations": bench_iterations, "rows": rows},
     )
     by_fanout = {row["fanout"]: row["success rate"] for row in rows}
     # more walkers never hurt accuracy (they strictly add coverage)
@@ -56,7 +58,11 @@ def test_topk_sweep(benchmark, env, bench_iterations):
         rounds=1,
         iterations=1,
     )
-    emit_report("ablation_topk", format_rows(rows, title="top-k tracking, M=1000"))
+    emit_report(
+        "ablation_topk",
+        format_rows(rows, title="top-k tracking, M=1000"),
+        data={"n_documents": 1000, "iterations": bench_iterations, "rows": rows},
+    )
     for row in rows:
         assert row["top-k hit rate"] >= row["top-1 hit rate"]
 
@@ -73,6 +79,12 @@ def test_multi_gold_recall(benchmark, env, bench_iterations):
     emit_report(
         "ablation_multigold",
         format_rows(rows, title="multi-gold top-5 recall, M=1000, TTL=50"),
+        data={
+            "n_documents": 1000,
+            "k": 5,
+            "iterations": bench_iterations,
+            "rows": rows,
+        },
     )
     assert rows[0]["any-gold hit rate"] >= rows[0]["recall@budget"]
 
@@ -93,6 +105,7 @@ def test_placement_comparison(benchmark, env, bench_iterations):
             title="uniform vs correlated placement, M=1000, alpha=0.5 "
             "(paper: correlation is expected to aid diffusion)",
         ),
+        data={"n_documents": 1000, "iterations": bench_iterations, "rows": rows},
     )
     assert {row["placement"] for row in rows} == {"uniform", "correlated"}
 
@@ -109,5 +122,6 @@ def test_personalization_comparison(benchmark, env, bench_iterations):
     emit_report(
         "ablation_personalization",
         format_rows(rows, title="personalization weighting, M=1000"),
+        data={"n_documents": 1000, "iterations": bench_iterations, "rows": rows},
     )
     assert {row["weighting"] for row in rows} == {"sum", "mean", "sqrt", "l2"}

@@ -26,6 +26,7 @@ def test_aggregation_comparison(benchmark, env, bench_iterations):
             title="flat sum (paper) vs sketch-partitioned channels, "
             "M=10000, alpha=0.5, uniform start nodes",
         ),
+        data={"n_documents": 10000, "iterations": bench_iterations, "rows": rows},
     )
     by_channels = {row["channels"]: row["success rate"] for row in rows}
     assert 1 in by_channels

@@ -102,5 +102,11 @@ def test_hnsw(benchmark, corpus, exact_answers):
             _ROWS,
             title=f"ANN back-ends, {len(ids)} vectors, {N_QUERIES} queries, recall@{K}",
         ),
+        data={
+            "n_vectors": len(ids),
+            "n_queries": N_QUERIES,
+            "k": K,
+            "rows": _ROWS,
+        },
     )
     assert recall > 0.6

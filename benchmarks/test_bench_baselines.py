@@ -25,6 +25,12 @@ def test_baseline_comparison(benchmark, env, bench_iterations):
             title="diffusion walk vs blind baselines, M=1000, TTL=50, "
             "equal message budgets",
         ),
+        data={
+            "n_documents": 1000,
+            "ttl": 50,
+            "iterations": (bench_iterations or 50) * 3,
+            "rows": rows,
+        },
     )
     by_method = {row["method"]: row for row in rows}
     informed = by_method["diffusion walk"]["success rate"]

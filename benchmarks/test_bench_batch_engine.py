@@ -23,7 +23,7 @@ import os
 import time
 from dataclasses import dataclass
 
-from benchmarks.conftest import emit_report
+from benchmarks.conftest import emit_report, measure_peak_memory
 from repro.experiments.common import full_requested
 from repro.embeddings.synthetic import SyntheticCorpusConfig, synthetic_word_embeddings
 from repro.graphs.adjacency import CompressedAdjacency
@@ -130,6 +130,16 @@ def test_batch_engine_speedup():
         adjacency, workload, scenario, "batch", size.repetitions
     )
     speedup = scalar_time / batch_time
+    # Peak memory of one driver run per engine (untimed pass: tracemalloc
+    # adds a few percent of overhead, so it never touches the speed numbers).
+    _, scalar_peak = measure_peak_memory(
+        lambda: run_accuracy_experiment(
+            adjacency, workload, scenario, engine="scalar"
+        )
+    )
+    _, batch_peak = measure_peak_memory(
+        lambda: run_accuracy_experiment(adjacency, workload, scenario)
+    )
     walks = sum(scalar_grid.samples.values())
     success_gap = sum(
         abs(batch_grid.successes.get(key, 0) - scalar_grid.successes.get(key, 0))
@@ -151,9 +161,11 @@ def test_batch_engine_speedup():
                 f"TTL {scenario.ttl}, {scenario.iterations} iterations "
                 f"({walks} walks total)",
                 f"  scalar loop : {scalar_time * 1e3:8.1f} ms "
-                f"(best of {size.repetitions})",
+                f"(best of {size.repetitions}; peak memory "
+                f"{scalar_peak / 1e6:.1f} MB)",
                 f"  batched     : {batch_time * 1e3:8.1f} ms "
-                f"(best of {size.repetitions})",
+                f"(best of {size.repetitions}; peak memory "
+                f"{batch_peak / 1e6:.1f} MB)",
                 f"  speedup     : {speedup:8.2f}x (floor {size.min_speedup}x)",
                 "grids identical: "
                 f"{batch_grid.successes == scalar_grid.successes} "
@@ -163,6 +175,28 @@ def test_batch_engine_speedup():
                 "(cached sparse-LU solve, one factorization per alpha)",
             ]
         ),
+        data={
+            "configuration": {
+                "label": size.label,
+                "n_nodes": adjacency.n_nodes,
+                "n_edges": adjacency.n_edges,
+                "n_documents": size.n_documents,
+                "alphas": list(scenario.alphas),
+                "ttl": scenario.ttl,
+                "iterations": scenario.iterations,
+                "repetitions": size.repetitions,
+                "walks": int(walks),
+            },
+            "scalar": {
+                "time_s": scalar_time,
+                "peak_memory_bytes": scalar_peak,
+            },
+            "batch": {"time_s": batch_time, "peak_memory_bytes": batch_peak},
+            "speedup": speedup,
+            "min_speedup": size.min_speedup,
+            "grids_identical": batch_grid.successes == scalar_grid.successes,
+            "success_count_gap": int(success_gap),
+        },
     )
 
     # Correctness first: the batched pipeline must reproduce the scalar

@@ -101,6 +101,7 @@ def test_async_protocol(benchmark, diffusion_setup):
     emit_report(
         "diffusion_strategies",
         format_rows(_ROWS, title="diffusion warm-up strategies (400-node graph)"),
+        data={"n_nodes": 400, "dim": DIM, "rows": _ROWS},
     )
     assert outcome.residual < 1e-5
     # reference: exact solve on the same instance agrees

@@ -55,7 +55,22 @@ def _report(env, n_documents, grid):
     for alpha in grid.alphas:
         lines.append(f"  a={alpha:g} |{sparkline(grid.series(alpha))}|")
     lines.append(f"paper: {PAPER_NOTES[n_documents]}")
-    emit_report(f"fig{PANEL[n_documents]}_m{n_documents}", "\n".join(lines))
+    emit_report(
+        f"fig{PANEL[n_documents]}_m{n_documents}",
+        "\n".join(lines),
+        data={
+            "n_documents": n_documents,
+            "environment": env.label,
+            "alphas": list(grid.alphas),
+            "series": {
+                str(alpha): [
+                    None if np.isnan(v) else float(v)
+                    for v in grid.series(alpha)
+                ]
+                for alpha in grid.alphas
+            },
+        },
+    )
 
 
 def _mean_over(grid, distances):
@@ -106,5 +121,6 @@ def test_fig3_cross_panel_degradation(benchmark, env, bench_iterations):
         "mean accuracy over distances 1-4:\n"
         + "\n".join(f"  M={m:>6}: {value:.3f}" for m, value in means.items())
         + "\npaper: accuracy at M=10 far exceeds accuracy at M=10000",
+        data={"mean_accuracy_distances_1_4": {str(m): v for m, v in means.items()}},
     )
     assert means[10] > means[10000] + 0.1

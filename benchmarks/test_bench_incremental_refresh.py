@@ -94,6 +94,12 @@ def test_refresh_cost_vs_churn(benchmark, overlay, placement):
                 f"{N_NODES}-node overlay, M={N_DOCUMENTS}, alpha={ALPHA}"
             ),
         ),
+        data={
+            "n_nodes": N_NODES,
+            "n_documents": N_DOCUMENTS,
+            "alpha": ALPHA,
+            "rows": rows,
+        },
     )
     # A single moved document must cost measurably less than a full redo.
     incremental, full, new_signal = single_doc

@@ -32,6 +32,12 @@ def test_overhead_comparison(benchmark, env):
                 f"{env.model.dim}-d embeddings, 2.5 docs/node, 40-byte doc ids"
             ),
         ),
+        data={
+            "n_nodes": env.n_nodes,
+            "dim": env.model.dim,
+            "documents_per_node": 2.5,
+            "rows": rows,
+        },
     )
     by_scheme = {row["scheme"]: row for row in rows}
     # replication stores the global index; diffusion state is constant-size

@@ -86,6 +86,13 @@ def test_diffusion_vs_learned_routing(benchmark, env, bench_iterations):
                 f"{training_rounds} training repeats of the evaluated query"
             ),
         ),
+        data={
+            "n_documents": M_DOCUMENTS,
+            "ttl": TTL,
+            "instances": INSTANCES,
+            "training_rounds": training_rounds,
+            "rows": rows,
+        },
     )
     by_method = {row["method"]: row["success rate"] for row in rows}
     # diffusion needs no training; cold query-routing is the §II-A weakness

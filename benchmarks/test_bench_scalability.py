@@ -82,5 +82,6 @@ def test_walk_scaling(benchmark, n_nodes):
         emit_report(
             "scalability",
             format_rows(_ROWS, title="warm-up and query cost vs overlay size"),
+            data={"sizes": list(SIZES), "dim": DIM, "rows": _ROWS},
         )
     assert all(len(r.visits) <= 50 for r in results)

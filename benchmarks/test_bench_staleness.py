@@ -23,6 +23,7 @@ def test_staleness_sweep(benchmark, env, bench_iterations):
             title="success rate vs fraction of documents moved since the "
             "last diffusion (M=1000, alpha=0.5)",
         ),
+        data={"n_documents": 1000, "iterations": bench_iterations, "rows": rows},
     )
     by_fraction = {row["stale fraction"]: row["success rate"] for row in rows}
     # fresh hints must beat fully stale hints

@@ -55,6 +55,11 @@ def test_table1_row(benchmark, env, bench_iterations, n_documents):
             ],
             title=f"Table I row: M = {n_documents}",
         ),
+        data={
+            "n_documents": n_documents,
+            "measured": stats.as_row(),
+            "paper": paper,
+        },
     )
     assert stats.successes > 0, "no successful query; workload broken"
     if stats.successes >= 10:
@@ -87,6 +92,7 @@ def test_table1_summary(benchmark, env, bench_iterations):
     emit_report(
         "table1_full",
         format_rows(rows, title=f"Table I — average hop count ({env.label})"),
+        data={"environment": env.label, "rows": rows},
     )
     assert results[10].success_rate > results[10000].success_rate
     # hops grow with document count (compare the extremes, robust to noise)

@@ -47,7 +47,12 @@ from repro.embeddings.model import WordEmbeddingModel
 from repro.embeddings.synthetic import SyntheticCorpusConfig, synthetic_word_embeddings
 from repro.graphs.adjacency import CompressedAdjacency
 from repro.graphs.social import FacebookLikeConfig, facebook_like_graph
-from repro.gsp.filters import HeatKernel, PersonalizedPageRank, PolynomialFilter
+from repro.gsp.filters import (
+    HeatKernel,
+    PersonalizedPageRank,
+    PolynomialFilter,
+    SparsePersonalizedPageRank,
+)
 from repro.retrieval.topk import ScoredDocument, TopKTracker
 from repro.retrieval.vector_store import DocumentStore
 from repro.runtime.gossip import AsyncPPRDiffusion
@@ -87,6 +92,7 @@ __all__ = [
     "FacebookLikeConfig",
     "facebook_like_graph",
     "PersonalizedPageRank",
+    "SparsePersonalizedPageRank",
     "HeatKernel",
     "PolynomialFilter",
     "ScoredDocument",

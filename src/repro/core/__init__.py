@@ -18,6 +18,7 @@ from repro.core.personalization import (
 from repro.core.backends import (
     DiffusionBackend,
     PushDiffusionBackend,
+    SparseDiffusionBackend,
     available_backends,
     get_backend,
     register_backend,
@@ -54,6 +55,7 @@ __all__ = [
     "refresh_embeddings",
     "DiffusionBackend",
     "PushDiffusionBackend",
+    "SparseDiffusionBackend",
     "available_backends",
     "get_backend",
     "register_backend",

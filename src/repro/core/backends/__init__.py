@@ -1,12 +1,16 @@
 """Pluggable diffusion execution backends.
 
-Importing this package registers the four built-in strategies:
+Importing this package registers the five built-in strategies:
 
 * ``power`` — synchronous power iteration of eq. (7).
 * ``solve`` — exact sparse direct solve of eq. (6); ground truth.
 * ``async`` — the decentralized event-driven protocol.
-* ``push``  — residual Forward Push / Gauss–Southwell; the only backend
-  with ``supports_incremental = True`` (sparse-delta refresh).
+* ``push``  — residual Forward Push / Gauss–Southwell with
+  ``supports_incremental = True`` (sparse-delta refresh).
+* ``sparse`` — pruned CSR power iteration (``accepts_sparse``): embeddings
+  stay in ``scipy.sparse`` form from personalization through forwarding,
+  with degree-normalized ε-truncation bounding support; also
+  ``supports_incremental`` via the multi-column sparse push kernel.
 
 New strategies plug in via :func:`register_backend`; see
 :mod:`repro.core.backends.base` for the interface contract.
@@ -27,6 +31,7 @@ from repro.core.backends.standard import (
     SparseSolveBackend,
 )
 from repro.core.backends.push import PushDiffusionBackend
+from repro.core.backends.sparse import SparseDiffusionBackend
 
 __all__ = [
     "DiffusionBackend",
@@ -40,4 +45,5 @@ __all__ = [
     "PowerIterationBackend",
     "SparseSolveBackend",
     "PushDiffusionBackend",
+    "SparseDiffusionBackend",
 ]

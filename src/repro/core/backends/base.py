@@ -43,6 +43,11 @@ class DiffusionOutcome:
     the push backend (the unit that makes full and incremental runs
     comparable); ``incremental`` marks an outcome produced by patching a
     previous diffusion rather than recomputing it.
+
+    ``embeddings`` is a dense array for the standard backends; backends with
+    ``accepts_sparse`` (built-in: ``sparse``) return a ``scipy.sparse`` CSR
+    matrix instead — consumers that need a dense view call ``.toarray()``
+    (the search facade does this lazily).
     """
 
     embeddings: np.ndarray
@@ -72,6 +77,12 @@ class DiffusionBackend(ABC):
 
     #: Whether :meth:`refresh` is implemented.
     supports_incremental: ClassVar[bool] = False
+
+    #: Whether :meth:`diffuse`/:meth:`refresh` accept ``scipy.sparse``
+    #: personalization/embedding matrices without densification (and may
+    #: return a sparse ``DiffusionOutcome.embeddings``).  Dispatchers densify
+    #: sparse inputs before handing them to backends that leave this False.
+    accepts_sparse: ClassVar[bool] = False
 
     @abstractmethod
     def diffuse(

@@ -1,0 +1,114 @@
+"""Sparse-first backend: pruned CSR diffusion with incremental refresh.
+
+Wraps :class:`repro.gsp.filters.SparsePersonalizedPageRank` (pruned CSR
+power iteration) and the multi-column sparse push kernel of
+:mod:`repro.gsp.push` behind the :class:`DiffusionBackend` interface.  The
+personalization never densifies: the backend takes a ``scipy.sparse``
+personalization matrix (``accepts_sparse``), keeps the iterate in CSR form
+through every sweep, and returns CSR embeddings in the outcome — memory and
+work scale with the diffused mass's support, not with ``n_nodes × dim``,
+which is what lets the precompute phase run at 100k+ nodes (see
+``benchmarks/test_bench_sparse_scale.py``).
+
+Like ``push``, the backend ``supports_incremental``: after a sparse
+personalization change it patches the cached CSR embeddings by pushing only
+the delta, with the same degree-normalized ε-truncation as the cold start so
+refresh work stays local too.
+
+The pruning threshold ε is a constructor knob; ``method="sparse"`` uses
+:data:`~repro.gsp.filters.SPARSE_DEFAULT_EPSILON`, and dispatchers accept a
+pre-built instance (``method=SparseDiffusionBackend(epsilon=...)``) for
+other settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.backends.base import (
+    DiffusionBackend,
+    DiffusionOutcome,
+    register_backend,
+)
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.gsp.filters import SPARSE_DEFAULT_EPSILON, SparsePersonalizedPageRank
+from repro.gsp.normalization import NormalizationKind, transition_matrix
+from repro.gsp.push import sparse_push_refresh
+from repro.runtime.network import LatencyModel
+from repro.utils.rng import RngLike
+
+
+@register_backend
+class SparseDiffusionBackend(DiffusionBackend):
+    """Pruned CSR power iteration; embeddings stay sparse end to end."""
+
+    name = "sparse"
+    supports_incremental = True
+    accepts_sparse = True
+
+    def __init__(self, epsilon: float = SPARSE_DEFAULT_EPSILON) -> None:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def diffuse(
+        self,
+        topology: CompressedAdjacency,
+        personalization: np.ndarray | sp.spmatrix,
+        *,
+        alpha: float,
+        normalization: NormalizationKind = "column",
+        tol: float = 1e-8,
+        max_iterations: int = 10_000,
+        latency: LatencyModel | None = None,
+        seed: RngLike = None,
+    ) -> DiffusionOutcome:
+        operator = transition_matrix(topology, normalization)
+        ppr = SparsePersonalizedPageRank(
+            alpha,
+            epsilon=self.epsilon,
+            tol=tol,
+            max_iterations=max_iterations,
+        )
+        detail = ppr.apply_detailed(operator, personalization)
+        return DiffusionOutcome(
+            embeddings=detail.signal,
+            method=self.name,
+            alpha=alpha,
+            iterations=detail.iterations,
+            residual=detail.residual,
+            converged=detail.converged,
+        )
+
+    def refresh(
+        self,
+        topology: CompressedAdjacency,
+        embeddings: np.ndarray | sp.spmatrix,
+        delta: np.ndarray | sp.spmatrix,
+        *,
+        alpha: float,
+        normalization: NormalizationKind = "column",
+        tol: float = 1e-8,
+        max_iterations: int = 10_000,
+    ) -> DiffusionOutcome:
+        operator = transition_matrix(topology, normalization, fmt="csc")
+        patched, result = sparse_push_refresh(
+            operator,
+            embeddings,
+            delta,
+            alpha=alpha,
+            tol=tol,
+            epsilon=self.epsilon,
+            max_sweeps=max_iterations,
+        )
+        return DiffusionOutcome(
+            embeddings=patched,
+            method=self.name,
+            alpha=alpha,
+            iterations=result.sweeps,
+            residual=result.residual,
+            converged=result.converged,
+            operations=result.edge_operations,
+            incremental=True,
+        )

@@ -20,7 +20,10 @@ replacing the per-walk Python loop with structure-of-arrays state:
   which falls back to scalar ``select`` calls for custom policies).  When
   every walk runs a :class:`PrecomputedScorePolicy` — the experiment hot
   path — selection short-circuits to one fused segment-argmax over a
-  stacked score matrix, no per-walk Python at all.
+  stacked score table, no per-walk Python at all; the table is a dense
+  matrix for dense-backed policies or a composite-key CSR lookup for
+  sparse-backed ones, so the sparse pipeline's walks never densify their
+  scores per hop.
 
 Equivalence contract, pinned by ``tests/unit/test_batch_engine.py``: for
 deterministic policies every :class:`SearchResult` field is bit-identical to
@@ -45,6 +48,7 @@ from repro.core.forwarding import (
     ForwardingPolicy,
     PrecomputedScorePolicy,
     _segment_top_k,
+    lookup_sorted_keys,
 )
 from repro.graphs.adjacency import CompressedAdjacency
 from repro.retrieval.topk import TopKTracker
@@ -108,35 +112,97 @@ def _coerce_query_ids(
     return [query_ids] * batch
 
 
+class _DenseScoreStack:
+    """Per-walk dense score rows; ``gather`` is one fancy index."""
+
+    def __init__(self, stack: np.ndarray, rows: np.ndarray) -> None:
+        self.stack = stack
+        self.rows = rows
+
+    def gather(self, queries: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+        """Score of ``nodes[i]`` under walk ``queries[i]``'s policy."""
+        return self.stack[self.rows[queries], nodes]
+
+
+class _SparseScoreStack:
+    """Per-walk CSR score rows, gathered without densifying.
+
+    The stacked rows' (row, node) coordinates collapse into one sorted
+    composite-key array (rows are appended in order, node indices are sorted
+    within each row), so a whole hop's ``(walk, candidate)`` lookups are a
+    single ``searchsorted`` — absent entries score exactly ``0.0``, matching
+    what a densified copy would hold.
+    """
+
+    def __init__(
+        self, keys: np.ndarray, values: np.ndarray, rows: np.ndarray, n_nodes: int
+    ) -> None:
+        self.keys = keys
+        self.values = values
+        self.rows = rows
+        self.n_nodes = n_nodes
+
+    def gather(self, queries: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+        """Score of ``nodes[i]`` under walk ``queries[i]``'s policy."""
+        wanted = self.rows[queries] * np.int64(self.n_nodes) + nodes
+        return lookup_sorted_keys(self.keys, self.values, wanted)
+
+
 def _precomputed_stack(
     policy_list: list[ForwardingPolicy], n_nodes: int
-) -> tuple[np.ndarray, np.ndarray] | None:
+) -> _DenseScoreStack | _SparseScoreStack | None:
     """Stack per-walk score vectors when every policy is score-table based.
 
-    Returns ``(stack, rows)`` — ``stack[rows[q], v]`` is walk ``q``'s score
-    for node ``v`` — or None when the batch mixes in other policy types.
-    Distinct policy instances share a row when they are the same object, so
-    the accuracy driver's one-policy-per-alpha batch stacks to one row per
-    alpha.
+    Returns a score stack whose ``gather(queries, nodes)`` yields walk
+    ``queries[i]``'s score for node ``nodes[i]`` — or None when the batch
+    mixes in other policy types (or mixes dense- and sparse-backed score
+    tables).  Distinct policy instances share a row when they are the same
+    object, so the accuracy driver's one-policy-per-alpha batch stacks to
+    one row per alpha.
     """
     row_of: dict[int, int] = {}
-    vectors: list[np.ndarray] = []
+    vectors: list = []
     rows = np.empty(len(policy_list), dtype=np.int64)
+    sparse_mode: bool | None = None
     for q, policy in enumerate(policy_list):
         if type(policy) is not PrecomputedScorePolicy:
             return None
-        if policy.node_scores.shape != (n_nodes,):
+        if policy.n_nodes != n_nodes:
+            return None
+        policy_sparse = policy.node_scores is None
+        if sparse_mode is None:
+            sparse_mode = policy_sparse
+        elif sparse_mode != policy_sparse:
             return None
         row = row_of.get(id(policy))
         if row is None:
-            if not np.isfinite(policy.node_scores).all():
+            table = (
+                (policy._sparse_indices, policy._sparse_values)
+                if policy_sparse
+                else policy.node_scores
+            )
+            values = table[1] if policy_sparse else table
+            if not np.isfinite(values).all():
                 # The fused selection uses -inf as its masking sentinel;
                 # non-finite scores take the general select_batch path.
                 return None
             row = row_of[id(policy)] = len(vectors)
-            vectors.append(policy.node_scores)
+            vectors.append(table)
         rows[q] = row
-    return np.stack(vectors), rows
+    if not sparse_mode:
+        return _DenseScoreStack(np.stack(vectors), rows)
+    keys = np.concatenate(
+        [
+            np.int64(r) * np.int64(n_nodes) + indices
+            for r, (indices, _) in enumerate(vectors)
+        ]
+    ) if vectors else np.empty(0, dtype=np.int64)
+    values = (
+        np.concatenate([vals for _, vals in vectors])
+        if vectors
+        else np.empty(0, dtype=np.float64)
+    )
+    return _SparseScoreStack(keys, values, rows, n_nodes)
 
 
 def run_queries(
@@ -330,9 +396,8 @@ def run_queries(
                 # fallback fold into a -inf mask, so a whole hop selects via
                 # one segment argmax (first-position tie-break — exactly
                 # top_k_indices(scores, 1) per segment).
-                stack, rows = stacked
                 flat_cand = indices[flat_pos]
-                scores = stack[rows[flat_q], flat_cand]
+                scores = stacked.gather(flat_q, flat_cand)
                 if unseen.all():
                     pool = scores
                 else:
@@ -374,8 +439,7 @@ def run_queries(
             kept_cand = indices[kept_pos]
 
             if stacked is not None:
-                stack, rows = stacked
-                scores = stack[rows[kept_q], kept_cand]
+                scores = stacked.gather(kept_q, kept_cand)
                 kept_offsets = np.concatenate(([0], kept_starts + kept_lens))
                 chosen, chosen_offsets = _segment_top_k(
                     scores,

@@ -11,19 +11,32 @@ Built-in strategies (see :mod:`repro.core.backends`):
 * ``push`` — residual Forward Push / Gauss–Southwell
   (:mod:`repro.gsp.push`); supports incremental refresh from sparse
   personalization deltas via :func:`refresh_embeddings`.
+* ``sparse`` — pruned CSR power iteration
+  (:class:`repro.gsp.filters.SparsePersonalizedPageRank`); personalization
+  and embeddings stay in ``scipy.sparse`` form end to end, so precompute
+  memory and work scale with the diffused support instead of
+  ``n_nodes × dim``.
 
 All strategies agree to within tolerance (verified by tests), so experiments
 may use the cheapest one without changing semantics.  Additional strategies
 register through :func:`repro.core.backends.register_backend` and become
-addressable by ``method=`` name here without any call-site change.
+addressable by ``method=`` name here without any call-site change; ``method``
+also accepts a pre-built :class:`DiffusionBackend` instance for backends with
+constructor knobs (e.g. ``SparseDiffusionBackend(epsilon=1e-5)``).
+
+Sparse inputs: a ``scipy.sparse`` personalization (or delta) passes through
+untouched to backends that declare ``accepts_sparse`` and is densified for
+the others, so callers can always hand over the cheapest representation they
+hold.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.backends import get_backend
-from repro.core.backends.base import DiffusionOutcome
+from repro.core.backends.base import DiffusionBackend, DiffusionOutcome
 from repro.graphs.adjacency import CompressedAdjacency
 from repro.gsp.filters import coerce_signal
 from repro.gsp.normalization import NormalizationKind
@@ -33,12 +46,42 @@ from repro.utils.rng import RngLike
 __all__ = ["DiffusionOutcome", "diffuse_embeddings", "refresh_embeddings"]
 
 
+def resolve_backend(method: str | DiffusionBackend) -> DiffusionBackend:
+    """Resolve a ``method=`` argument: registry name or pre-built instance."""
+    if isinstance(method, DiffusionBackend):
+        return method
+    return get_backend(method)
+
+
+def _coerce_for_backend(
+    signal: np.ndarray | sp.spmatrix,
+    n_nodes: int,
+    backend: DiffusionBackend,
+) -> np.ndarray | sp.spmatrix:
+    """Match the signal representation to what the backend accepts.
+
+    Sparse matrices pass through to ``accepts_sparse`` backends and densify
+    for the others; dense inputs are validated/coerced as before (sparse
+    backends accept dense input too and convert internally).
+    """
+    if sp.issparse(signal):
+        if signal.shape[0] != n_nodes:
+            raise ValueError(
+                f"signal must have {n_nodes} rows, got shape {signal.shape}"
+            )
+        if backend.accepts_sparse:
+            return signal
+        return np.asarray(signal.todense(), dtype=np.float64)
+    coerced, _ = coerce_signal(signal, n_nodes)
+    return coerced
+
+
 def diffuse_embeddings(
     topology: CompressedAdjacency,
-    personalization: np.ndarray,
+    personalization: np.ndarray | sp.spmatrix,
     *,
     alpha: float = 0.5,
-    method: str = "power",
+    method: str | DiffusionBackend = "power",
     normalization: NormalizationKind = "column",
     tol: float = 1e-8,
     max_iterations: int = 10_000,
@@ -49,10 +92,15 @@ def diffuse_embeddings(
 
     Parameters mirror the paper's: ``alpha`` is the teleport probability
     (0.1 = heavy, 0.5 = moderate, 0.9 = light diffusion in §V-C).
-    ``method`` names a registered :class:`~repro.core.backends.DiffusionBackend`.
+    ``method`` names a registered :class:`~repro.core.backends.DiffusionBackend`
+    (or is one).  ``personalization`` may be a ``scipy.sparse`` matrix; it
+    reaches ``accepts_sparse`` backends (``method="sparse"``) without ever
+    densifying.
     """
-    personalization, _ = coerce_signal(personalization, topology.n_nodes)
-    backend = get_backend(method)
+    backend = resolve_backend(method)
+    personalization = _coerce_for_backend(
+        personalization, topology.n_nodes, backend
+    )
     return backend.diffuse(
         topology,
         personalization,
@@ -67,11 +115,11 @@ def diffuse_embeddings(
 
 def refresh_embeddings(
     topology: CompressedAdjacency,
-    embeddings: np.ndarray,
-    delta: np.ndarray,
+    embeddings: np.ndarray | sp.spmatrix,
+    delta: np.ndarray | sp.spmatrix,
     *,
     alpha: float = 0.5,
-    method: str = "push",
+    method: str | DiffusionBackend = "push",
     normalization: NormalizationKind = "column",
     tol: float = 1e-8,
     max_iterations: int = 10_000,
@@ -82,15 +130,21 @@ def refresh_embeddings(
     diffused personalization matrix (zero outside the changed nodes); by
     linearity the corrected diffusion is ``embeddings + H delta``, computed
     at a cost proportional to the change.  Requires a backend with
-    ``supports_incremental`` (built-in: ``push``).
+    ``supports_incremental`` (built-in: ``push``, ``sparse``).
     """
-    delta, _ = coerce_signal(delta, topology.n_nodes)
-    backend = get_backend(method)
+    backend = resolve_backend(method)
     if not backend.supports_incremental:
         raise ValueError(
-            f"diffusion method {method!r} does not support incremental "
-            "refresh; use method='push' or a custom incremental backend"
+            f"diffusion method {backend.name!r} does not support incremental "
+            "refresh; use method='push', method='sparse', or a custom "
+            "incremental backend"
         )
+    delta = _coerce_for_backend(delta, topology.n_nodes, backend)
+    # The embeddings pass through uncoerced for dense backends so a 1-D
+    # cache comes back 1-D (the backend's own shape handling restores it);
+    # only a sparse cache headed for a dense backend needs densification.
+    if sp.issparse(embeddings) and not backend.accepts_sparse:
+        embeddings = np.asarray(embeddings.todense(), dtype=np.float64)
     return backend.refresh(
         topology,
         embeddings,

@@ -13,11 +13,32 @@ from abc import ABC, abstractmethod
 from typing import Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.embeddings.similarity import dot_scores
 from repro.graphs.adjacency import CompressedAdjacency
 from repro.retrieval.scoring import top_k_indices
 from repro.utils import check_positive
+
+
+def lookup_sorted_keys(
+    keys: np.ndarray, values: np.ndarray, wanted: np.ndarray
+) -> np.ndarray:
+    """Gather ``values`` of sorted ``keys`` at ``wanted``; absent keys → 0.0.
+
+    The shared CSR-lookup kernel of the sparse scoring paths
+    (:meth:`PrecomputedScorePolicy.candidate_scores` and the batch engine's
+    stacked sparse score table): one ``searchsorted`` over the whole query
+    array, with misses scoring *exactly* ``0.0`` — the value a densified
+    copy would hold — so sparse- and dense-backed decisions stay
+    bit-identical.
+    """
+    if keys.shape[0] == 0:
+        return np.zeros(wanted.shape[0], dtype=np.float64)
+    positions = np.searchsorted(keys, wanted)
+    clipped = np.minimum(positions, keys.shape[0] - 1)
+    found = keys[clipped] == wanted
+    return np.where(found, values[clipped], 0.0)
 
 
 def _segment_top_k(
@@ -123,27 +144,51 @@ class EmbeddingGuidedPolicy(ForwardingPolicy):
     Parameters
     ----------
     embeddings:
-        The diffused node embedding matrix ``E`` (eq. 6).  In deployment each
-        node stores only its neighbors' rows (collected during diffusion);
-        the policy reads exactly those rows, so the information access
-        pattern is identical.
+        The diffused node embedding matrix ``E`` (eq. 6) — dense, or a
+        ``scipy.sparse`` matrix as cached by the ``sparse`` diffusion
+        backend; CSR rows are scored directly, without densifying the
+        matrix.  In deployment each node stores only its neighbors' rows
+        (collected during diffusion); the policy reads exactly those rows,
+        so the information access pattern is identical.
     temperature:
         0 (default) reproduces the paper's deterministic argmax (ties broken
         by ascending node id).  A positive temperature samples next hops from
         a softmax over scores — an exploration ablation.
     """
 
-    def __init__(self, embeddings: np.ndarray, *, temperature: float = 0.0) -> None:
-        embeddings = np.asarray(embeddings, dtype=np.float64)
-        if embeddings.ndim != 2:
-            raise ValueError(f"embeddings must be 2-D, got shape {embeddings.shape}")
+    def __init__(
+        self,
+        embeddings: np.ndarray | sp.spmatrix,
+        *,
+        temperature: float = 0.0,
+    ) -> None:
+        if sp.issparse(embeddings):
+            matrix = embeddings.tocsr().astype(np.float64)
+            if matrix is embeddings:
+                matrix = matrix.copy()
+            matrix.sort_indices()
+            self._sparse = True
+        else:
+            matrix = np.asarray(embeddings, dtype=np.float64)
+            self._sparse = False
+        if matrix.ndim != 2:
+            raise ValueError(f"embeddings must be 2-D, got shape {matrix.shape}")
         if temperature < 0:
             raise ValueError(f"temperature must be >= 0, got {temperature}")
-        self.embeddings = embeddings
+        self.embeddings = matrix
         self.temperature = float(temperature)
 
     def scores(self, query_embedding: np.ndarray, candidates: np.ndarray) -> np.ndarray:
         """Dot-product relevance of each candidate's diffused embedding."""
+        if self._sparse:
+            query = np.asarray(query_embedding, dtype=np.float64)
+            if query.ndim != 1 or query.shape[0] != self.embeddings.shape[1]:
+                raise ValueError(
+                    f"dimension mismatch: query has shape {query.shape}, "
+                    f"embeddings have {self.embeddings.shape[1]} dims"
+                )
+            # CSR row gather @ dense query: O(nnz of the candidate rows).
+            return np.asarray(self.embeddings[candidates] @ query).ravel()
         return dot_scores(query_embedding, self.embeddings[candidates])
 
     def select(
@@ -207,13 +252,51 @@ class PrecomputedScorePolicy(ForwardingPolicy):
     embedding-guided policy computes, at 1/dim of the cost.  The experiment
     harness relies on this; an integration test pins its walks to
     :class:`EmbeddingGuidedPolicy` over the full embedding matrix.
+
+    ``scores`` may also be a ``scipy.sparse`` vector (shape ``(n, 1)`` or
+    ``(1, n)``, as produced by the sparse diffusion pipeline); stored entries
+    keep their value, absent nodes score exactly ``0.0`` — the same numbers
+    a densified copy would hold, so sparse- and dense-backed policies make
+    bit-identical decisions.  Lookups run in ``O(log nnz)`` per candidate
+    without ever materializing the dense vector.
     """
 
-    def __init__(self, scores: np.ndarray) -> None:
+    def __init__(self, scores: np.ndarray | sp.spmatrix) -> None:
+        if sp.issparse(scores):
+            if 1 not in scores.shape:
+                raise ValueError(
+                    "sparse scores must be a vector of shape (n, 1) or "
+                    f"(1, n), got shape {scores.shape}"
+                )
+            column = (
+                scores.tocsc() if scores.shape[1] == 1 else scores.tocsr().T.tocsc()
+            )
+            # Unconditional copy: the conversions above can return the
+            # caller's object or share its buffers (e.g. csr.T views), and
+            # the canonicalization below mutates in place.
+            column = column.copy()
+            column.sum_duplicates()
+            column.sort_indices()
+            self.node_scores = None
+            self.n_nodes = int(max(scores.shape))
+            self._sparse_indices = np.asarray(column.indices, dtype=np.int64)
+            self._sparse_values = np.asarray(column.data, dtype=np.float64)
+            return
         scores = np.asarray(scores, dtype=np.float64)
         if scores.ndim != 1:
             raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
         self.node_scores = scores
+        self.n_nodes = scores.shape[0]
+        self._sparse_indices = None
+        self._sparse_values = None
+
+    def candidate_scores(self, candidates: np.ndarray) -> np.ndarray:
+        """Per-candidate score: table lookup (dense) or CSR lookup (sparse)."""
+        if self.node_scores is not None:
+            return self.node_scores[candidates]
+        return lookup_sorted_keys(
+            self._sparse_indices, self._sparse_values, candidates
+        )
 
     def select(
         self,
@@ -226,7 +309,7 @@ class PrecomputedScorePolicy(ForwardingPolicy):
         candidates = np.asarray(candidates, dtype=np.int64)
         if candidates.size == 0:
             return candidates
-        return candidates[top_k_indices(self.node_scores[candidates], fanout)]
+        return candidates[top_k_indices(self.candidate_scores(candidates), fanout)]
 
     def select_batch(
         self,
@@ -236,7 +319,7 @@ class PrecomputedScorePolicy(ForwardingPolicy):
         fanouts: np.ndarray,
         rngs: Sequence[np.random.Generator],
     ) -> tuple[np.ndarray, np.ndarray]:
-        return _segment_top_k(self.node_scores[candidates], offsets, fanouts)
+        return _segment_top_k(self.candidate_scores(candidates), offsets, fanouts)
 
     def describe(self) -> str:
         return "embedding-guided(precomputed)"

@@ -18,6 +18,15 @@ change, exact to within the push tolerance::
     net.place_document("doc-2", other_embedding, node=9)
     outcome = net.diffuse(method="push")   # incremental patch, not a redo
     assert outcome.incremental
+
+Large networks: ``net.diffuse(method="sparse")`` runs the sparse-first
+pipeline — personalization assembled from occupied rows only, pruned CSR
+power iteration, CSR embedding cache consumed directly by the walk policies
+— so precompute memory and time scale with the diffused support rather than
+``n_nodes × dim``.  ``net.embeddings`` still returns the dense view (built
+lazily on first access); ``net.diffuse(method="sparse")`` after further
+placements patches the CSR cache incrementally, like ``push`` does for the
+dense one.
 """
 
 from __future__ import annotations
@@ -26,14 +35,16 @@ from typing import Hashable, Iterable, Mapping
 
 import networkx as nx
 import numpy as np
+import scipy.sparse as sp
 
-from repro.core.backends import get_backend
-from repro.core.diffusion import DiffusionOutcome
+from repro.core.backends import DiffusionBackend
+from repro.core.diffusion import DiffusionOutcome, resolve_backend
 from repro.core.engine import SearchResult, WalkConfig, run_query
 from repro.core.forwarding import EmbeddingGuidedPolicy, ForwardingPolicy
 from repro.core.personalization import (
     PersonalizationWeighting,
     personalization_matrix,
+    personalization_vector,
 )
 from repro.core.protocol import QueryMessage, QueryRoutingNode
 from repro.graphs.adjacency import CompressedAdjacency
@@ -80,13 +91,18 @@ class DiffusionSearchNetwork:
         self.weighting: PersonalizationWeighting = weighting
         self.stores: dict[int, DocumentStore] = {}
         self._doc_locations: dict[Hashable, int] = {}
-        self._embeddings: np.ndarray | None = None
+        # The raw cache from the last diffusion: a dense array for the
+        # standard backends, a scipy CSR matrix for the sparse backend.
+        # `.embeddings` densifies lazily (memoized in _embeddings_dense).
+        self._embeddings: np.ndarray | sp.spmatrix | None = None
+        self._embeddings_dense: np.ndarray | None = None
         self._last_outcome: DiffusionOutcome | None = None
         self._stale = True
         # Incremental-refresh state: the personalization matrix the cached
-        # embeddings were diffused from, and the nodes whose rows changed
-        # since (the sparse delta support set).
-        self._diffused_personalization: np.ndarray | None = None
+        # embeddings were diffused from (dense or CSR, matching the backend
+        # that produced it), and the nodes whose rows changed since (the
+        # sparse delta support set).
+        self._diffused_personalization: np.ndarray | sp.spmatrix | None = None
         self._dirty_nodes: set[int] = set()
         self._accumulated_residual = 0.0
 
@@ -158,10 +174,39 @@ class DiffusionSearchNetwork:
             self.stores, self.n_nodes, self.dim, self.weighting
         )
 
+    def personalization_sparse(self) -> sp.csr_matrix:
+        """The current ``E0`` as a CSR matrix, built from occupied rows only.
+
+        Most nodes hold no documents, so their personalization rows are
+        zero; this builds ``E0`` with one stored row per document-holding
+        node — ``O(holders × dim)`` memory regardless of network size.  The
+        entry point of the sparse diffusion pipeline (``method="sparse"``).
+        """
+        occupied = sorted(
+            node for node, store in self.stores.items() if len(store)
+        )
+        if not occupied:
+            return sp.csr_matrix((self.n_nodes, self.dim), dtype=np.float64)
+        block = np.stack(
+            [
+                personalization_vector(
+                    self.stores[node].matrix(), self.weighting
+                )
+                for node in occupied
+            ]
+        )
+        rows = np.repeat(np.asarray(occupied, dtype=np.int64), self.dim)
+        cols = np.tile(np.arange(self.dim, dtype=np.int64), len(occupied))
+        matrix = sp.csr_matrix(
+            (block.ravel(), (rows, cols)), shape=(self.n_nodes, self.dim)
+        )
+        matrix.eliminate_zeros()
+        return matrix
+
     def diffuse(
         self,
         *,
-        method: str = "power",
+        method: str | DiffusionBackend = "power",
         tol: float = 1e-8,
         max_iterations: int = 10_000,
         latency: LatencyModel | None = None,
@@ -181,8 +226,15 @@ class DiffusionSearchNetwork:
         before the delta drained) is returned but *not* committed: the
         cached embeddings, baseline, and staleness are left untouched so a
         retry with a larger budget re-diffuses the full delta.
+
+        With a sparse-capable backend (``method="sparse"``) the whole path
+        stays in CSR form: the personalization is assembled from occupied
+        rows only, the cached embeddings are a CSR matrix (``.embeddings``
+        densifies lazily; ``csr_embeddings`` exposes the raw cache), and
+        incremental refreshes patch that CSR cache without densifying.
         """
-        backend = get_backend(method)
+        backend = resolve_backend(method)
+        sparse_mode = backend.accepts_sparse
         can_refresh = (
             backend.supports_incremental
             and self._embeddings is not None
@@ -193,25 +245,40 @@ class DiffusionSearchNetwork:
         elif incremental and not can_refresh:
             if not backend.supports_incremental:
                 raise ValueError(
-                    f"diffusion method {method!r} does not support "
-                    "incremental refresh; use method='push'"
+                    f"diffusion method {backend.name!r} does not support "
+                    "incremental refresh; use method='push' or "
+                    "method='sparse'"
                 )
             raise ValueError(
                 "incremental refresh needs a previous diffusion to patch; "
                 "run .diffuse() once before requesting incremental=True"
             )
 
-        personalization = self.personalization()
+        personalization = (
+            self.personalization_sparse() if sparse_mode
+            else self.personalization()
+        )
         if incremental:
             # Full-matrix difference rather than just the dirty-marked rows:
             # it costs the same (the current matrix is already in hand) and
             # stays correct even when stores were mutated behind the
             # facade's back.  Unchanged rows are zero and cost nothing to
             # push; `dirty_nodes` remains the introspection view.
-            delta = personalization - self._diffused_personalization
+            baseline = self._diffused_personalization
+            cached = self._embeddings
+            if sparse_mode:
+                if not sp.issparse(baseline):
+                    baseline = sp.csr_matrix(baseline)
+                delta = (personalization - baseline).tocsr()
+            else:
+                if sp.issparse(baseline):
+                    baseline = np.asarray(baseline.todense())
+                if sp.issparse(cached):
+                    cached = np.asarray(cached.todense())
+                delta = personalization - baseline
             outcome = backend.refresh(
                 self.adjacency,
-                self._embeddings,
+                cached,
                 delta,
                 alpha=self.alpha,
                 normalization=self.normalization,
@@ -237,6 +304,7 @@ class DiffusionSearchNetwork:
             # re-diffuses the full delta.
             return outcome
         self._embeddings = outcome.embeddings
+        self._embeddings_dense = None
         self._last_outcome = outcome
         # Only a converged run may serve as the incremental baseline: a
         # truncated full run carries residual error that a later delta patch
@@ -271,17 +339,36 @@ class DiffusionSearchNetwork:
 
     @property
     def embeddings(self) -> np.ndarray:
-        """Diffused node embeddings from the last :meth:`diffuse` call.
+        """Diffused node embeddings from the last :meth:`diffuse` call (dense).
 
         May be *stale* if documents changed since; check :attr:`is_stale`.
         (A live network is transiently stale too, until re-diffusion
         propagates the update.)
+
+        After a sparse diffusion the cache is a CSR matrix; this property
+        densifies it lazily (memoized until the next diffusion) so dense
+        consumers keep working unchanged.  Hot paths that can consume CSR
+        rows directly — :meth:`default_policy`, the walk engines — read
+        :attr:`csr_embeddings` instead and never trigger the densification.
         """
         if self._embeddings is None:
             raise RuntimeError(
                 "no diffusion has been run; call .diffuse() after placing documents"
             )
+        if sp.issparse(self._embeddings):
+            if self._embeddings_dense is None:
+                self._embeddings_dense = np.asarray(self._embeddings.todense())
+            return self._embeddings_dense
         return self._embeddings
+
+    @property
+    def csr_embeddings(self) -> sp.csr_matrix | None:
+        """The CSR embedding cache from the last sparse diffusion.
+
+        ``None`` when the last diffusion used a dense backend; treat the
+        returned matrix as read-only.
+        """
+        return self._embeddings if sp.issparse(self._embeddings) else None
 
     @property
     def is_stale(self) -> bool:
@@ -304,8 +391,15 @@ class DiffusionSearchNetwork:
     # ---------------------------------------------------------------- search
 
     def default_policy(self) -> EmbeddingGuidedPolicy:
-        """The paper's forwarding policy over the cached embeddings."""
-        return EmbeddingGuidedPolicy(self.embeddings)
+        """The paper's forwarding policy over the cached embeddings.
+
+        A CSR cache (sparse diffusion) is handed to the policy as-is —
+        walks score candidate rows straight from the sparse matrix, so the
+        dense ``(n_nodes, dim)`` view is never materialized; the dense
+        branch reuses :attr:`embeddings` (including its no-diffusion guard).
+        """
+        csr = self.csr_embeddings
+        return EmbeddingGuidedPolicy(csr if csr is not None else self.embeddings)
 
     def search(
         self,

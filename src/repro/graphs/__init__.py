@@ -13,6 +13,7 @@ from repro.graphs.generators import (
     connected_erdos_renyi,
     connected_powerlaw_cluster,
     connected_watts_strogatz,
+    cycle_union_adjacency,
     grid_graph,
     random_regular,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "connected_erdos_renyi",
     "connected_powerlaw_cluster",
     "connected_watts_strogatz",
+    "cycle_union_adjacency",
     "grid_graph",
     "random_regular",
     "load_snap_edge_list",

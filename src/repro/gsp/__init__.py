@@ -12,13 +12,21 @@ from repro.gsp.normalization import (
     NormalizationKind,
 )
 from repro.gsp.convolution import propagate, k_hop_aggregate
-from repro.gsp.push import PushResult, forward_push, push_refresh
+from repro.gsp.push import (
+    PushResult,
+    forward_push,
+    push_refresh,
+    sparse_forward_push,
+    sparse_push_refresh,
+)
 from repro.gsp.filters import (
+    SPARSE_DEFAULT_EPSILON,
     DiffusionResult,
     GraphFilter,
     HeatKernel,
     PersonalizedPageRank,
     PolynomialFilter,
+    SparsePersonalizedPageRank,
 )
 from repro.gsp.spectral import (
     SpectralDecomposition,
@@ -38,11 +46,15 @@ __all__ = [
     "PushResult",
     "forward_push",
     "push_refresh",
+    "sparse_forward_push",
+    "sparse_push_refresh",
+    "SPARSE_DEFAULT_EPSILON",
     "DiffusionResult",
     "GraphFilter",
     "HeatKernel",
     "PersonalizedPageRank",
     "PolynomialFilter",
+    "SparsePersonalizedPageRank",
     "SpectralDecomposition",
     "empirical_frequency_response",
     "heat_frequency_response",

@@ -28,7 +28,11 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from repro.gsp.filters import coerce_signal
+from repro.gsp.filters import (
+    coerce_signal,
+    coerce_sparse_signal,
+    operator_out_degrees,
+)
 from repro.utils import check_positive, check_probability
 
 #: Use the row-local scatter path when the pushed columns' nonzeros are
@@ -163,6 +167,157 @@ def forward_push(
         edge_operations=edge_operations,
         converged=final_residual <= tol,
     )
+
+
+def _row_peaks(matrix: sp.csr_matrix) -> tuple[np.ndarray, np.ndarray]:
+    """Max-abs entry per nonempty row: ``(row_ids, peaks)``."""
+    lens = np.diff(matrix.indptr)
+    rows = np.flatnonzero(lens)
+    if rows.size == 0:
+        return rows, np.empty(0, dtype=np.float64)
+    peaks = np.maximum.reduceat(np.abs(matrix.data), matrix.indptr[rows])
+    return rows, peaks
+
+
+def sparse_forward_push(
+    operator: sp.spmatrix,
+    signal: np.ndarray | sp.spmatrix,
+    *,
+    alpha: float = 0.5,
+    tol: float = 1e-8,
+    epsilon: float = 0.0,
+    max_sweeps: int = 10_000,
+) -> PushResult:
+    """Multi-column Forward Push keeping estimate and residual in CSR form.
+
+    The sparse counterpart of :func:`forward_push`: the same
+    ``p + H r = H r0`` residual bookkeeping and batched Gauss–Southwell
+    sweeps, but estimate and residual are ``scipy.sparse`` CSR matrices, so
+    memory and per-sweep work scale with the mass actually in flight rather
+    than with ``n_nodes × dim``.  The returned ``estimate`` is a CSR matrix.
+
+    ``epsilon`` adds the degree-normalized truncation of
+    :class:`repro.gsp.filters.SparsePersonalizedPageRank`: a row is pushed
+    only while its peak exceeds ``max(tol, ε · d(u))`` (a node below that
+    would spread less than ``ε`` to each neighbor); the sub-threshold
+    residual is abandoned, trading bounded accuracy for locality.  With
+    ``epsilon=0`` the kernel converges to the same ``tol`` criterion as the
+    dense :func:`forward_push`.
+    """
+    check_probability(alpha, "alpha")
+    if alpha == 0.0:
+        raise ValueError("alpha must be positive (alpha=0 never teleports)")
+    check_positive(tol, "tol")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    check_positive(max_sweeps, "max_sweeps")
+
+    n = operator.shape[0]
+    residual, _ = coerce_sparse_signal(signal, n)
+    dim = residual.shape[1]
+    # Per-sweep (rows, cols, values) contributions to the estimate; summed
+    # into one CSR matrix after the loop (nothing reads the estimate
+    # mid-loop, and rebuilding it per sweep would cost O(sweeps x nnz)).
+    estimate_rows: list[np.ndarray] = []
+    estimate_cols: list[np.ndarray] = []
+    estimate_values: list[np.ndarray] = []
+
+    columns = operator.tocsc()
+    col_degrees = operator_out_degrees(columns)
+    thresholds = np.maximum(tol, epsilon * col_degrees.astype(np.float64))
+
+    damping = 1.0 - alpha
+    sweeps = 0
+    pushes = 0
+    edge_operations = 0
+    for sweeps in range(1, max_sweeps + 1):
+        rows, peaks = _row_peaks(residual)
+        active = rows[peaks > thresholds[rows]]
+        if active.size == 0:
+            sweeps -= 1
+            break
+        pushed = residual[active]
+        estimate_rows.append(active.repeat(np.diff(pushed.indptr)))
+        estimate_cols.append(pushed.indices.astype(np.int64, copy=False))
+        estimate_values.append(alpha * pushed.data)
+        # Clear the pushed rows, then scatter (1−a)·r_u along operator
+        # column u for every active u — all in CSR/CSC arithmetic.
+        lens = np.diff(residual.indptr)
+        keep_row = np.ones(n, dtype=bool)
+        keep_row[active] = False
+        keep_entry = np.repeat(keep_row, lens)
+        kept_indptr = np.concatenate(
+            ([0], np.cumsum(np.where(keep_row, lens, 0)))
+        )
+        remaining = sp.csr_matrix(
+            (residual.data[keep_entry], residual.indices[keep_entry], kept_indptr),
+            shape=(n, dim),
+        )
+        scattered = columns[:, active] @ pushed.multiply(damping)
+        residual = (remaining + scattered).tocsr()
+        pushes += int(active.size)
+        edge_operations += int(col_degrees[active].sum())
+
+    rows, peaks = _row_peaks(residual)
+    final_residual = float(peaks.max()) if peaks.size else 0.0
+    converged = bool(np.all(peaks <= thresholds[rows])) if rows.size else True
+    if estimate_rows:
+        estimate = sp.csr_matrix(
+            (
+                np.concatenate(estimate_values),
+                (np.concatenate(estimate_rows), np.concatenate(estimate_cols)),
+            ),
+            shape=(n, dim),
+        )  # the COO constructor sums duplicate (row, col) contributions
+    else:
+        estimate = sp.csr_matrix((n, dim), dtype=np.float64)
+    estimate.sort_indices()
+    return PushResult(
+        estimate=estimate,
+        residual=final_residual,
+        sweeps=sweeps,
+        pushes=pushes,
+        edge_operations=edge_operations,
+        converged=converged,
+    )
+
+
+def sparse_push_refresh(
+    operator: sp.spmatrix,
+    embeddings: np.ndarray | sp.spmatrix,
+    delta: np.ndarray | sp.spmatrix,
+    *,
+    alpha: float = 0.5,
+    tol: float = 1e-8,
+    epsilon: float = 0.0,
+    max_sweeps: int = 10_000,
+) -> tuple[sp.csr_matrix, PushResult]:
+    """Patch a CSR diffusion cache after a sparse personalization change.
+
+    The sparse counterpart of :func:`push_refresh`: given CSR (or dense)
+    ``embeddings ≈ H E0`` and a mostly-zero ``delta = E0' − E0``, returns
+    ``(embeddings + H delta, push_result)`` with everything kept in CSR form
+    — the patched cache never densifies.
+    """
+    n = operator.shape[0]
+    base, _ = coerce_sparse_signal(embeddings, n)
+    delta_matrix, _ = coerce_sparse_signal(delta, n)
+    if base.shape != delta_matrix.shape:
+        raise ValueError(
+            f"embeddings shape {base.shape} does not match "
+            f"delta shape {delta_matrix.shape}"
+        )
+    result = sparse_forward_push(
+        operator,
+        delta_matrix,
+        alpha=alpha,
+        tol=tol,
+        epsilon=epsilon,
+        max_sweeps=max_sweeps,
+    )
+    patched = (base + result.estimate).tocsr()
+    patched.sort_indices()
+    return patched, result
 
 
 def push_refresh(

@@ -359,3 +359,68 @@ class TestCustomPolicies:
                 setting["adjacency"], {}, _RoguePolicy(),
                 setting["query"], setting["starts"], WalkConfig(ttl=5),
             )
+
+
+class TestSparseScoreStack:
+    """CSR-backed PrecomputedScorePolicy batches hit the fused fast path
+    and reproduce the dense-backed (and scalar) results bit for bit."""
+
+    def _score_vectors(self, setting, count=3):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(31)
+        n = setting["adjacency"].n_nodes
+        pairs = []
+        for _ in range(count):
+            scores = np.zeros(n)
+            rows = rng.choice(n, n // 3, replace=False)
+            scores[rows] = rng.standard_normal(rows.shape[0])
+            pairs.append((scores, sp.csr_matrix(scores[:, None])))
+        return pairs
+
+    def test_sparse_policies_match_scalar_engine(self, setting):
+        pairs = self._score_vectors(setting, count=1)
+        policy = PrecomputedScorePolicy(pairs[0][1])
+        batch, scalar = run_both(setting, policy, config=WalkConfig(ttl=12))
+        assert_results_identical(batch, scalar)
+
+    def test_sparse_stack_matches_dense_stack(self, setting):
+        pairs = self._score_vectors(setting)
+        starts = setting["starts"]
+        dense_policies = [
+            PrecomputedScorePolicy(dense) for dense, _ in pairs
+        ] * (len(starts) // len(pairs) + 1)
+        sparse_policies = [
+            PrecomputedScorePolicy(vec) for _, vec in pairs
+        ] * (len(starts) // len(pairs) + 1)
+        config = WalkConfig(ttl=15)
+        dense_results = run_queries(
+            setting["adjacency"], setting["stores"],
+            dense_policies[: len(starts)], setting["query"], starts, config,
+        )
+        sparse_results = run_queries(
+            setting["adjacency"], setting["stores"],
+            sparse_policies[: len(starts)], setting["query"], starts, config,
+        )
+        assert_results_identical(sparse_results, dense_results)
+
+    def test_mixed_dense_sparse_batch_still_correct(self, setting):
+        """A mixed batch skips the fused stack but stays bit-identical."""
+        pairs = self._score_vectors(setting, count=2)
+        starts = setting["starts"]
+        policies = []
+        for i in range(len(starts)):
+            dense, vec = pairs[i % 2]
+            policies.append(
+                PrecomputedScorePolicy(dense if i % 2 == 0 else vec)
+            )
+        batch, scalar = run_both(setting, policies, config=WalkConfig(ttl=10))
+        assert_results_identical(batch, scalar)
+
+    def test_sparse_fanout_matches_scalar(self, setting):
+        pairs = self._score_vectors(setting, count=1)
+        policy = PrecomputedScorePolicy(pairs[0][1])
+        batch, scalar = run_both(
+            setting, policy, config=WalkConfig(ttl=8, fanout=3)
+        )
+        assert_results_identical(batch, scalar)

@@ -148,3 +148,122 @@ class TestDegreeBiased:
 
         adjacency = CompressedAdjacency.from_networkx(nx.star_graph(2))
         assert DegreeBiasedPolicy(adjacency).describe() == "degree-biased"
+
+
+class TestSparseScoring:
+    """CSR-backed policies decide identically to their dense twins.
+
+    The sparse diffusion pipeline hands policies CSR embeddings (and CSR
+    score vectors); stored entries carry the same values a densified copy
+    would, and absent entries score exactly 0.0, so selections must be
+    bit-identical across representations.
+    """
+
+    @pytest.fixture
+    def sparse_embeddings(self, rng):
+        import scipy.sparse as sp
+
+        dense = np.zeros((30, 6))
+        rows = rng.choice(30, 12, replace=False)
+        dense[rows] = rng.standard_normal((12, 6))
+        return dense, sp.csr_matrix(dense)
+
+    def test_embedding_guided_select_matches_dense(self, sparse_embeddings, rng):
+        dense, sparse = sparse_embeddings
+        dense_policy = EmbeddingGuidedPolicy(dense)
+        sparse_policy = EmbeddingGuidedPolicy(sparse)
+        query = rng.standard_normal(6)
+        candidates = np.arange(30, dtype=np.int64)
+        for fanout in (1, 3):
+            assert np.array_equal(
+                dense_policy.select(query, candidates, fanout, rng),
+                sparse_policy.select(query, candidates, fanout, rng),
+            )
+
+    def test_embedding_guided_scores_match_dense(self, sparse_embeddings, rng):
+        dense, sparse = sparse_embeddings
+        query = rng.standard_normal(6)
+        candidates = np.array([0, 4, 7, 29])
+        got = EmbeddingGuidedPolicy(sparse).scores(query, candidates)
+        want = EmbeddingGuidedPolicy(dense).scores(query, candidates)
+        assert np.allclose(got, want, atol=1e-14)
+
+    def test_embedding_guided_select_batch_matches_dense(
+        self, sparse_embeddings, rng
+    ):
+        dense, sparse = sparse_embeddings
+        queries = rng.standard_normal((2, 6))
+        candidates = np.concatenate(
+            [np.arange(15, dtype=np.int64), np.arange(10, 30, dtype=np.int64)]
+        )
+        offsets = np.array([0, 15, 35])
+        fanouts = np.array([2, 2])
+        rngs = [np.random.default_rng(0), np.random.default_rng(1)]
+        got = EmbeddingGuidedPolicy(sparse).select_batch(
+            queries, candidates, offsets, fanouts, rngs
+        )
+        want = EmbeddingGuidedPolicy(dense).select_batch(
+            queries, candidates, offsets, fanouts, rngs
+        )
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+
+    def test_sparse_dim_mismatch_rejected(self, sparse_embeddings):
+        _, sparse = sparse_embeddings
+        policy = EmbeddingGuidedPolicy(sparse)
+        with pytest.raises(ValueError, match="mismatch"):
+            policy.scores(np.zeros(5), np.array([0, 1]))
+
+    @pytest.mark.parametrize("orientation", ["column", "row"])
+    def test_precomputed_sparse_vector_matches_dense(self, rng, orientation):
+        import scipy.sparse as sp
+
+        scores = np.zeros(40)
+        nodes = rng.choice(40, 15, replace=False)
+        scores[nodes] = rng.standard_normal(15)
+        vector = (
+            sp.csr_matrix(scores[:, None])
+            if orientation == "column"
+            else sp.csr_matrix(scores[None, :])
+        )
+        dense_policy = PrecomputedScorePolicy(scores)
+        sparse_policy = PrecomputedScorePolicy(vector)
+        assert sparse_policy.n_nodes == 40
+        candidates = np.arange(40, dtype=np.int64)
+        for fanout in (1, 2, 5):
+            assert np.array_equal(
+                dense_policy.select(np.zeros(2), candidates, fanout, rng),
+                sparse_policy.select(np.zeros(2), candidates, fanout, rng),
+            )
+
+    def test_precomputed_candidate_scores_lookup(self, rng):
+        import scipy.sparse as sp
+
+        scores = np.zeros(20)
+        scores[[3, 7, 11]] = [1.5, -2.0, 0.25]
+        policy = PrecomputedScorePolicy(sp.csr_matrix(scores[:, None]))
+        got = policy.candidate_scores(np.array([0, 3, 7, 11, 19]))
+        assert np.array_equal(got, [0.0, 1.5, -2.0, 0.25, 0.0])
+
+    def test_precomputed_all_zero_sparse_vector(self, rng):
+        import scipy.sparse as sp
+
+        policy = PrecomputedScorePolicy(sp.csr_matrix((10, 1)))
+        got = policy.candidate_scores(np.array([0, 5, 9]))
+        assert np.array_equal(got, np.zeros(3))
+
+    def test_precomputed_sparse_matrix_rejected(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(ValueError, match="vector"):
+            PrecomputedScorePolicy(sp.csr_matrix((4, 4)))
+
+    def test_precomputed_does_not_alias_caller_matrix(self, rng):
+        import scipy.sparse as sp
+
+        scores = np.zeros(10)
+        scores[2] = 5.0
+        owned = sp.csc_matrix(scores[:, None])
+        policy = PrecomputedScorePolicy(owned)
+        owned.data[0] = -7.0  # caller mutates their matrix afterwards
+        assert policy.candidate_scores(np.array([2]))[0] == 5.0

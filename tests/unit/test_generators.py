@@ -77,3 +77,54 @@ class TestValidation:
     def test_bad_probability(self):
         with pytest.raises(ValueError):
             connected_erdos_renyi(10, 1.5)
+
+
+class TestCycleUnionAdjacency:
+    def test_structure(self):
+        from repro.graphs.generators import cycle_union_adjacency
+
+        adjacency = cycle_union_adjacency(500, 10, seed=3)
+        assert adjacency.n_nodes == 500
+        degrees = adjacency.degrees
+        # union of 5 Hamiltonian cycles: degree 10 minus rare collisions
+        assert degrees.min() >= 2
+        assert degrees.max() <= 10
+        assert degrees.mean() > 9.0
+
+    def test_connected(self):
+        from repro.graphs.generators import cycle_union_adjacency
+        from repro.graphs.metrics import bfs_distances
+
+        adjacency = cycle_union_adjacency(300, 4, seed=5)
+        distances = bfs_distances(adjacency, 0)
+        assert (distances >= 0).all()  # every node reachable
+
+    def test_symmetric_and_sorted(self):
+        import numpy as np
+
+        from repro.graphs.generators import cycle_union_adjacency
+
+        adjacency = cycle_union_adjacency(100, 6, seed=1)
+        for node in range(0, 100, 17):
+            neighbors = adjacency.neighbors(node)
+            assert np.all(np.diff(neighbors) > 0)  # sorted, no duplicates
+            for other in neighbors:
+                assert adjacency.has_edge(int(other), node)
+
+    def test_same_seed_same_graph(self):
+        import numpy as np
+
+        from repro.graphs.generators import cycle_union_adjacency
+
+        a = cycle_union_adjacency(200, 8, seed=9)
+        b = cycle_union_adjacency(200, 8, seed=9)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_too_small_rejected(self):
+        import pytest
+
+        from repro.graphs.generators import cycle_union_adjacency
+
+        with pytest.raises(ValueError):
+            cycle_union_adjacency(2, 4)
