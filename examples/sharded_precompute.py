@@ -1,0 +1,105 @@
+"""Sharded parallel precompute: diffuse a 60,000-node network shard by shard.
+
+One process owning the whole operator is the precompute ceiling of the
+sparse pipeline.  The ``sharded`` backend lifts it: a community-aware
+partition cuts the graph into shards that rarely talk to each other, a
+process pool diffuses every shard's slice of the *global* operator in
+parallel, and the little probability mass that does cross shard boundaries
+is exchanged through residual "mailbox" rounds until it is all settled —
+so the result matches the single-process backend to solver tolerance
+(and the pool is bit-identical to the serial executor).
+
+Run with ``PYTHONPATH=src python examples/sharded_precompute.py``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import DiffusionSearchNetwork
+from repro.core import ShardedDiffusionBackend, build_shard_plan
+from repro.graphs.generators import community_cycle_adjacency
+
+N_NODES = 60_000
+N_COMMUNITIES = 32
+N_SHARDS = 4
+DIM = 64
+N_DOCUMENTS = 500
+# Community structure cuts both ways: the locality that makes sharding
+# cheap also keeps the diffused score gradient local, so walks starting in
+# the wrong community need a longer leash to cross the sparse boundaries.
+TTL = 150
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    started = time.perf_counter()
+    adjacency = community_cycle_adjacency(
+        N_NODES, 10, n_communities=N_COMMUNITIES, cross_fraction=0.05, seed=1
+    )
+    print(
+        f"overlay: {adjacency.n_nodes} nodes / {adjacency.n_edges} edges in "
+        f"{N_COMMUNITIES} planted communities "
+        f"(built in {time.perf_counter() - started:.2f}s)"
+    )
+
+    # The plan is what makes the parallelism cheap: label propagation finds
+    # the communities, a balanced packing maps them onto shards, and each
+    # shard gets its slice of the global normalized operator.  It is
+    # memoized on the adjacency — pay once, reuse on every (re-)diffusion.
+    started = time.perf_counter()
+    plan = build_shard_plan(adjacency, N_SHARDS)
+    print(
+        f"shard plan: {plan.n_shards} shards, "
+        f"{plan.cross_fraction:.1%} of edges cross shards "
+        f"(planned in {time.perf_counter() - started:.2f}s)"
+    )
+
+    net = DiffusionSearchNetwork(adjacency, dim=DIM, alpha=0.5)
+    documents = rng.standard_normal((N_DOCUMENTS, DIM))
+    nodes = rng.choice(N_NODES, N_DOCUMENTS, replace=False)
+    for i in range(N_DOCUMENTS):
+        net.place_document(f"doc-{i}", documents[i], int(nodes[i]))
+
+    workers = max(1, min(N_SHARDS, os.cpu_count() or 1))
+    backend = ShardedDiffusionBackend(N_SHARDS, workers=workers)
+    started = time.perf_counter()
+    outcome = net.diffuse(method=backend)
+    elapsed = time.perf_counter() - started
+    report = backend.last_report
+    print(
+        f"sharded diffusion ({workers} workers): {elapsed:.2f}s wall, "
+        f"{report.rounds} boundary rounds, converged={outcome.converged}"
+    )
+    print(
+        f"  shard compute: {report.serial_seconds:.2f}s total, "
+        f"{report.critical_path_seconds:.2f}s on the critical path "
+        f"(x{report.serial_seconds / max(report.critical_path_seconds, 1e-12):.1f} "
+        "parallelism available)"
+    )
+
+    # Same CSR cache, same walk machinery — queries don't know or care that
+    # the precompute was sharded.
+    hits = 0
+    trials = 40
+    for _ in range(trials):
+        target = int(rng.integers(N_DOCUMENTS))
+        start = int(rng.integers(N_NODES))
+        result = net.search(documents[target], start_node=start, ttl=TTL)
+        hits += result.found(f"doc-{target}", top=1)
+    print(f"{trials} TTL-{TTL} searches: {hits}/{trials} top-1 hits")
+
+    # Churn patches through the same sharded machinery: diffuse the sparse
+    # delta, correct the cache — work proportional to the change.
+    net.place_document("late-arrival", rng.standard_normal(DIM), node=11)
+    refreshed = net.diffuse(method=backend)
+    print(
+        f"incremental refresh after one placement: "
+        f"incremental={refreshed.incremental}"
+    )
+
+
+if __name__ == "__main__":
+    main()

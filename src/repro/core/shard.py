@@ -1,0 +1,644 @@
+"""Sharded parallel precompute: community-partitioned diffusion with exact
+boundary correction.
+
+The sparse-first pipeline (``method="sparse"``) made the PPR warm-up of
+Fig. 2 memory-feasible at 100k+ nodes, but it still runs in one process.
+This module partitions the overlay into shards, diffuses each shard's slice
+independently (optionally across a :mod:`multiprocessing` pool), and makes
+the per-shard results *exact* by exchanging push residuals over the
+cross-shard edges between rounds — scaling the precompute to 10⁶-node
+overlays (see ``benchmarks/test_bench_sharded_scale.py``).
+
+The math — operator splitting on the push invariant
+---------------------------------------------------
+Write the globally normalized operator as ``W = D + C`` where ``D`` keeps
+the entries whose row *and* column fall in the same shard (a block-diagonal
+operator under the shard relabeling) and ``C`` holds the cross-shard
+entries.  With ``H_X = α (I − (1−α) X)⁻¹`` the resolvent identity
+
+    ``H_W r = H_D r + H_W · ((1−α)/α) · C · (H_D r)``
+
+turns the global diffusion into a fixed-point loop over *residual rounds*:
+
+* each shard diffuses its rows of the current residual ``r_t`` through its
+  **slice of the global operator** ``D`` — an embarrassingly parallel step,
+  any inner backend's :meth:`~repro.core.backends.base.DiffusionBackend
+  .diffuse_operator` works unchanged;
+* the partial estimates ``p_t = H_D r_t`` accumulate into the answer;
+* the *exact* leftover ``r_{t+1} = ((1−α)/α) · C · p_t`` is scattered along
+  the cross-shard edges into the other shards' mailboxes for the next
+  round.
+
+Under the column-stochastic normalization the exchanged ℓ₁ mass contracts
+by at least ``(1−α)`` per round (every unit of mass entering a shard either
+teleports into the estimate with probability ``α`` per step or keeps
+walking, and only the walked share can re-cross a boundary), so the loop
+converges geometrically no matter how the graph is cut — the partition
+quality only moves the *constant*: fewer cross-shard edges (see
+:func:`repro.graphs.communities.community_partition`) means less residual
+mass re-crossing per round and smaller mailboxes.  For ``row``/
+``symmetric`` normalizations no such mass argument holds, so the driver
+carries a divergence guard (two consecutive rounds of growing residual
+mass abort with ``converged=False``).
+
+Crucially the shard operators are **slices of the globally normalized
+operator**, not re-normalized induced subgraphs: a boundary node keeps its
+global degree in the denominators, so the mass it leaks to out-of-shard
+neighbors is exactly what the ``C``-term re-injects — the two backends
+agree bit-for-bit at ε = 0 about what a shard keeps and what it exports.
+
+Execution
+---------
+:class:`SerialShardExecutor` runs shard tasks in-process in shard-id order
+(debugging, equivalence tests); :class:`PoolShardExecutor` fans them out to
+a forked worker pool.  Both execute the *same* task function with the same
+deterministic per-shard seeds (:func:`repro.utils.rng.shard_rng`) and merge
+results in shard-id order, so the two executors — and repeated runs — are
+bit-identical.  Pool workers run under ``tracemalloc`` when a benchmark
+harness requests it (:mod:`repro.utils.procmem`) and ship their traced
+peaks back with each task result, so ``measure_peak_memory`` can report the
+fleet-wide ``parent + max(child)`` footprint.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import tracemalloc
+import warnings
+from dataclasses import dataclass, replace
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.backends.base import DiffusionBackend
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.graphs.communities import (
+    community_partition,
+    cross_shard_fraction,
+    degree_balanced_partition,
+)
+from repro.gsp.filters import (
+    PrunedMassWarning,
+    check_pruned_mass,
+    coerce_sparse_signal,
+)
+from repro.gsp.normalization import NormalizationKind, transition_matrix
+from repro.utils import check_positive, ensure_rng, shard_rng
+from repro.utils import procmem
+from repro.utils.rng import RngLike
+
+__all__ = [
+    "DEFAULT_MAX_ROUNDS",
+    "Shard",
+    "ShardPlan",
+    "ShardTaskResult",
+    "ShardedRunReport",
+    "SerialShardExecutor",
+    "PoolShardExecutor",
+    "build_shard_plan",
+    "make_worker_state",
+    "sharded_diffuse",
+]
+
+#: Residual-round cap of :func:`sharded_diffuse`.  With the column
+#: normalization the residual contracts by ``(1−α)`` per round, so even the
+#: paper's heaviest diffusion (α = 0.1) reaches 1e-9 within ~200 rounds;
+#: the cap is a backstop for the un-guaranteed normalizations.
+DEFAULT_MAX_ROUNDS = 500
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One shard's static slice of the global diffusion problem.
+
+    ``local_operator`` is the ``(k, k)`` intra-shard block of the *global*
+    normalized operator with rows/columns relabeled to local ids (sorted
+    global order); ``cross_operator`` is the ``(n, k)`` cross-shard slice —
+    global rows, local columns — through which the shard's diffused mass
+    leaks into other shards' mailboxes.
+    """
+
+    shard_id: int
+    nodes: np.ndarray
+    local_operator: sp.csr_matrix
+    cross_operator: sp.csr_matrix
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A reusable partition of the overlay for sharded diffusion.
+
+    Built once per ``(n_shards, partition, normalization, seed)`` by
+    :func:`build_shard_plan` (memoized on the adjacency, like the operator
+    cache) and shared by every subsequent diffuse/refresh — plan
+    construction is the only part that touches the full operator.
+    """
+
+    assignment: np.ndarray
+    shards: tuple[Shard, ...]
+    n_nodes: int
+    normalization: NormalizationKind
+    partition: str
+    partition_seed: int
+    cross_fraction: float
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+@dataclass(frozen=True)
+class ShardTaskResult:
+    """One shard's output for one residual round.
+
+    ``estimate`` is the local ``(k, dim)`` diffusion of the shard's residual
+    block; ``outgoing`` the ``(n, dim)`` residual it exports to other shards
+    (``((1−α)/α) · C_s @ estimate``).  ``peak_bytes`` is the worker
+    process's traced allocation peak (0 outside memory measurement and for
+    the serial executor, whose allocations the parent's own tracemalloc
+    already sees).
+    """
+
+    shard_id: int
+    estimate: sp.csr_matrix
+    outgoing: sp.csr_matrix
+    inner_iterations: int
+    seconds: float
+    peak_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class ShardedRunReport:
+    """Diagnostics of one :func:`sharded_diffuse` run.
+
+    ``shard_seconds`` holds each round's per-task compute times as measured
+    *inside* the workers; ``critical_path_seconds`` (Σ over rounds of the
+    slowest shard) is the run's wall-clock lower bound with ≥ ``n_shards``
+    cores, while ``serial_seconds`` (Σ of everything) is the one-worker
+    cost — their ratio is the speedup the partition makes available,
+    independent of how many cores the measuring host happens to have.
+    """
+
+    rounds: int
+    residual: float
+    converged: bool
+    inner_iterations: int
+    shard_seconds: tuple[tuple[float, ...], ...]
+    critical_path_seconds: float
+    serial_seconds: float
+    diffused_mass_ratio: float | None = None
+
+
+def build_shard_plan(
+    topology: CompressedAdjacency,
+    n_shards: int,
+    *,
+    partition: str = "community",
+    normalization: NormalizationKind = "column",
+    partition_seed: int = 0,
+    assignment: np.ndarray | None = None,
+) -> ShardPlan:
+    """Partition the overlay and slice the global operator per shard.
+
+    ``partition`` selects the node-to-shard map: ``"community"``
+    (:func:`~repro.graphs.communities.community_partition`, the default —
+    minimizes the cross-shard residual traffic on community-structured
+    overlays) or ``"degree"``
+    (:func:`~repro.graphs.communities.degree_balanced_partition`, the
+    structure-free fallback).  A precomputed ``assignment`` array overrides
+    both.  Plans are memoized on the adjacency object per
+    ``(n_shards, partition, normalization, partition_seed)`` — sound
+    because the adjacency is immutable — except when an explicit
+    ``assignment`` is supplied.
+    """
+    check_positive(n_shards, "n_shards")
+    n = topology.n_nodes
+    if n_shards > max(1, n):
+        raise ValueError(
+            f"n_shards ({n_shards}) must not exceed n_nodes ({n})"
+        )
+    cache_key = None
+    if assignment is None:
+        cache = getattr(topology, "_shard_plan_cache", None)
+        if cache is None:
+            cache = {}
+            try:
+                topology._shard_plan_cache = cache
+            except AttributeError:  # pragma: no cover - exotic subclasses
+                cache = None
+        cache_key = (n_shards, partition, normalization, int(partition_seed))
+        if cache is not None:
+            cached = cache.get(cache_key)
+            if cached is not None:
+                return cached
+        if partition == "community":
+            assignment = community_partition(
+                topology, n_shards, seed=int(partition_seed)
+            )
+        elif partition == "degree":
+            assignment = degree_balanced_partition(topology, n_shards)
+        else:
+            raise ValueError(
+                f"partition must be 'community' or 'degree', got {partition!r}"
+            )
+    else:
+        partition = "explicit"
+        cache = None
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (n,):
+            raise ValueError(
+                f"assignment must have shape ({n},), got {assignment.shape}"
+            )
+        if assignment.size and (
+            assignment.min() < 0 or assignment.max() >= n_shards
+        ):
+            raise ValueError(
+                f"assignment values must lie in [0, {n_shards})"
+            )
+
+    operator = transition_matrix(topology, normalization, fmt="csc")
+    shards = []
+    for shard_id in range(n_shards):
+        nodes = np.flatnonzero(assignment == shard_id).astype(np.int64)
+        shards.append(_slice_shard(operator, assignment, nodes, shard_id))
+    plan = ShardPlan(
+        assignment=assignment,
+        shards=tuple(shards),
+        n_nodes=n,
+        normalization=normalization,
+        partition=partition,
+        partition_seed=int(partition_seed),
+        cross_fraction=cross_shard_fraction(topology, assignment),
+    )
+    if cache is not None and cache_key is not None:
+        cache[cache_key] = plan
+    return plan
+
+
+def _slice_shard(
+    operator: sp.csc_matrix,
+    assignment: np.ndarray,
+    nodes: np.ndarray,
+    shard_id: int,
+) -> Shard:
+    """Split the shard's operator columns into intra and cross slices.
+
+    Column ``v`` of the global operator is node ``v``'s outgoing mass
+    distribution; slicing columns (cheap on CSC) and splitting the entries
+    by the *row*'s shard keeps every global degree in the denominators —
+    the correctness requirement spelled out in the module docstring.
+    """
+    n = operator.shape[0]
+    k = nodes.shape[0]
+    columns = operator[:, nodes].tocsc()
+    rows = columns.indices
+    entry_col = np.repeat(
+        np.arange(k, dtype=np.int64), np.diff(columns.indptr)
+    )
+    intra = assignment[rows] == shard_id
+    local_row = np.full(n, -1, dtype=np.int64)
+    local_row[nodes] = np.arange(k, dtype=np.int64)
+    local_operator = sp.csr_matrix(
+        (
+            columns.data[intra],
+            (local_row[rows[intra]], entry_col[intra]),
+        ),
+        shape=(k, k),
+    )
+    cross_operator = sp.csr_matrix(
+        (columns.data[~intra], (rows[~intra], entry_col[~intra])),
+        shape=(n, k),
+    )
+    return Shard(
+        shard_id=shard_id,
+        nodes=nodes,
+        local_operator=local_operator,
+        cross_operator=cross_operator,
+    )
+
+
+# --------------------------------------------------------------- executors
+
+
+@dataclass(frozen=True)
+class _WorkerState:
+    """Everything a shard task needs besides its per-round residual block.
+
+    Built once per executor; under the ``fork`` start method the pool
+    inherits it copy-on-write (the shard operators are never pickled — only
+    the small per-round residual blocks travel through the task queue).
+    """
+
+    shards: tuple[Shard, ...]
+    inner: DiffusionBackend
+    alpha: float
+    tol: float
+    max_iterations: int
+    seed: int | None
+    trace_memory: bool
+
+
+def _execute_shard(
+    state: _WorkerState, shard_id: int, residual_block: sp.csr_matrix
+) -> ShardTaskResult:
+    """Diffuse one shard's residual block and compute its exports.
+
+    The inner filter's per-block :class:`PrunedMassWarning` is suppressed:
+    a late-round residual fragment is *supposed* to be tiny relative to its
+    teleport share, so the per-block guard would fire spuriously —
+    :func:`sharded_diffuse` re-checks the guard once on the aggregated
+    global estimate instead.
+    """
+    start = time.perf_counter()
+    shard = state.shards[shard_id]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", PrunedMassWarning)
+        outcome = state.inner.diffuse_operator(
+            shard.local_operator,
+            residual_block,
+            alpha=state.alpha,
+            tol=state.tol,
+            max_iterations=state.max_iterations,
+            seed=(
+                None
+                if state.seed is None
+                else shard_rng(state.seed, shard_id)
+            ),
+        )
+    estimate = outcome.embeddings
+    if not sp.issparse(estimate):
+        estimate = sp.csr_matrix(np.atleast_2d(estimate))
+    estimate = estimate.tocsr()
+    outgoing = (shard.cross_operator @ estimate).tocsr()
+    outgoing *= (1.0 - state.alpha) / state.alpha
+    return ShardTaskResult(
+        shard_id=shard_id,
+        estimate=estimate,
+        outgoing=outgoing,
+        inner_iterations=outcome.iterations,
+        seconds=time.perf_counter() - start,
+    )
+
+
+#: Per-process executor state of a forked pool worker (set by `_pool_init`).
+_WORKER_STATE: _WorkerState | None = None
+
+
+def _pool_init(state: _WorkerState) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+    if state.trace_memory and not tracemalloc.is_tracing():
+        tracemalloc.start()
+
+
+def _pool_task(task: tuple[int, sp.csr_matrix]) -> ShardTaskResult:
+    shard_id, residual_block = task
+    assert _WORKER_STATE is not None, "pool worker used before _pool_init"
+    result = _execute_shard(_WORKER_STATE, shard_id, residual_block)
+    if _WORKER_STATE.trace_memory and tracemalloc.is_tracing():
+        # The worker's cumulative peak so far; the parent keeps the max
+        # over tasks, which converges to the worker's true peak.
+        result = replace(
+            result, peak_bytes=int(tracemalloc.get_traced_memory()[1])
+        )
+    return result
+
+
+class SerialShardExecutor:
+    """Run shard tasks in the calling process, in submission order.
+
+    The debugging and equivalence baseline: it executes the exact task
+    function the pool workers run, with the same per-shard seeds, so
+    :class:`PoolShardExecutor` output can be asserted bit-identical against
+    it.  ``peak_bytes`` stays 0 — the parent's own ``tracemalloc`` already
+    sees serial allocations, so reporting them as child peaks would
+    double-count.
+    """
+
+    def __init__(self, state: _WorkerState) -> None:
+        self._state = replace(state, trace_memory=False)
+
+    def run_round(
+        self, tasks: list[tuple[int, sp.csr_matrix]]
+    ) -> list[ShardTaskResult]:
+        return [
+            _execute_shard(self._state, shard_id, block)
+            for shard_id, block in tasks
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class PoolShardExecutor:
+    """Fan shard tasks out to a persistent forked worker pool.
+
+    The pool is created with the ``fork`` start method so the shard plan —
+    the heavy, static part — reaches workers by copy-on-write inheritance
+    through the initializer instead of pickling; only per-round residual
+    blocks (small, shrinking geometrically) cross the task queue.
+    ``pool.map`` preserves task order, so merge order — and therefore the
+    result — is identical to :class:`SerialShardExecutor`.
+    """
+
+    def __init__(self, state: _WorkerState, workers: int) -> None:
+        check_positive(workers, "workers")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "PoolShardExecutor needs the 'fork' start method (shard "
+                "operators are shared copy-on-write); use "
+                "SerialShardExecutor on this platform"
+            )
+        self._state = state
+        self.workers = int(workers)
+        self._pool = multiprocessing.get_context("fork").Pool(
+            self.workers, initializer=_pool_init, initargs=(state,)
+        )
+
+    def run_round(
+        self, tasks: list[tuple[int, sp.csr_matrix]]
+    ) -> list[ShardTaskResult]:
+        results = self._pool.map(_pool_task, tasks)
+        if self._state.trace_memory:
+            for result in results:
+                if result.peak_bytes:
+                    procmem.record_child_peak(result.peak_bytes)
+        return results
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+
+def make_worker_state(
+    plan: ShardPlan,
+    inner: DiffusionBackend,
+    *,
+    alpha: float,
+    tol: float,
+    max_iterations: int,
+    seed: RngLike = None,
+) -> _WorkerState:
+    """Freeze the static per-run state executors hand to shard tasks.
+
+    A non-integer ``seed`` (a live ``Generator``) is collapsed to one draw
+    here, in the parent, so every worker derives its shard stream from the
+    same base regardless of scheduling (see :func:`repro.utils.rng.shard_rng`).
+    """
+    if seed is None:
+        base_seed = None
+    elif isinstance(seed, (int, np.integer)):
+        base_seed = int(seed)
+    else:
+        base_seed = int(ensure_rng(seed).integers(0, 2**63 - 1))
+    return _WorkerState(
+        shards=plan.shards,
+        inner=inner,
+        alpha=float(alpha),
+        tol=float(tol),
+        max_iterations=int(max_iterations),
+        seed=base_seed,
+        trace_memory=procmem.worker_tracing_enabled(),
+    )
+
+
+# ------------------------------------------------------------- the driver
+
+
+def _scatter_rows(
+    local: sp.csr_matrix, nodes: np.ndarray, n: int
+) -> sp.csr_matrix:
+    """Re-index a shard-local ``(k, dim)`` CSR block to global ``(n, dim)``.
+
+    ``nodes`` is sorted, so local row order equals global row order and the
+    data/index arrays carry over unchanged — only ``indptr`` is rebuilt.
+    """
+    counts = np.zeros(n, dtype=np.int64)
+    counts[nodes] = np.diff(local.indptr)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    return sp.csr_matrix(
+        (local.data, local.indices, indptr), shape=(n, local.shape[1])
+    )
+
+
+def sharded_diffuse(
+    plan: ShardPlan,
+    personalization: np.ndarray | sp.spmatrix,
+    inner: DiffusionBackend,
+    *,
+    alpha: float,
+    tol: float = 1e-8,
+    max_iterations: int = 10_000,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    seed: RngLike = None,
+    executor: SerialShardExecutor | PoolShardExecutor | None = None,
+    workers: int | None = None,
+    warn_pruned_mass: bool = True,
+) -> tuple[sp.csr_matrix, ShardedRunReport]:
+    """Run the residual-mailbox loop of the module docstring to convergence.
+
+    Each round slices the current residual by shard, diffuses every
+    non-empty block through ``inner.diffuse_operator`` on its shard's local
+    operator (via ``executor`` — a fresh :class:`SerialShardExecutor` when
+    none is given and ``workers`` is ``None``, else a pool of ``workers``),
+    accumulates the partial estimates, and folds the exported residuals —
+    in shard-id order, for determinism — into the next round's mailbox.
+    Stops when the residual's largest entry falls below ``tol`` (matching
+    the other backends' residual semantics), at ``max_rounds``, or when the
+    divergence guard trips (residual ℓ₁ mass growing two rounds in a row —
+    possible for non-column normalizations, whose splitting iteration has
+    no contraction guarantee).
+
+    Returns the global CSR estimate and a :class:`ShardedRunReport`; when
+    the inner backend prunes (an ``epsilon`` attribute > 0) the aggregated
+    estimate is re-checked with :func:`repro.gsp.filters.check_pruned_mass`
+    (per-shard warnings are suppressed — see :func:`_execute_shard`).
+    """
+    check_positive(max_rounds, "max_rounds")
+    n = plan.n_nodes
+    residual, _ = coerce_sparse_signal(personalization, n)
+    dim = residual.shape[1]
+    e0_l1 = float(np.abs(residual.data).sum())
+    estimate = sp.csr_matrix((n, dim), dtype=np.float64)
+
+    owns_executor = executor is None
+    if owns_executor:
+        state = make_worker_state(
+            plan,
+            inner,
+            alpha=alpha,
+            tol=tol,
+            max_iterations=max_iterations,
+            seed=seed,
+        )
+        executor = (
+            SerialShardExecutor(state)
+            if workers is None or workers <= 1
+            else PoolShardExecutor(state, workers)
+        )
+
+    rounds = 0
+    inner_iterations = 0
+    round_seconds: list[tuple[float, ...]] = []
+    residual_norm = (
+        float(np.max(np.abs(residual.data))) if residual.nnz else 0.0
+    )
+    converged = residual_norm <= tol
+    mass_history: list[float] = []
+    try:
+        while not converged and rounds < max_rounds:
+            rounds += 1
+            tasks = []
+            for shard in plan.shards:
+                block = residual[shard.nodes]
+                if block.nnz:
+                    tasks.append((shard.shard_id, block.tocsr()))
+            results = executor.run_round(tasks)
+            round_seconds.append(tuple(r.seconds for r in results))
+            next_residual = sp.csr_matrix((n, dim), dtype=np.float64)
+            for result in results:  # shard-id order: deterministic merge
+                inner_iterations += result.inner_iterations
+                estimate = estimate + _scatter_rows(
+                    result.estimate, plan.shards[result.shard_id].nodes, n
+                )
+                next_residual = next_residual + result.outgoing
+            residual = next_residual
+            residual_norm = (
+                float(np.max(np.abs(residual.data))) if residual.nnz else 0.0
+            )
+            converged = residual_norm <= tol
+            mass_history.append(
+                float(np.abs(residual.data).sum()) if residual.nnz else 0.0
+            )
+            if (
+                len(mass_history) >= 3
+                and mass_history[-1] > mass_history[-2] > mass_history[-3]
+            ):
+                break  # diverging: residual mass grew two rounds in a row
+    finally:
+        if owns_executor:
+            executor.close()
+
+    mass_ratio = None
+    if float(getattr(inner, "epsilon", 0.0)) > 0.0:
+        mass_ratio = check_pruned_mass(
+            e0_l1,
+            float(np.abs(estimate.data).sum()),
+            alpha,
+            float(inner.epsilon),
+            warn=warn_pruned_mass,
+        )
+    report = ShardedRunReport(
+        rounds=rounds,
+        residual=residual_norm,
+        converged=converged,
+        inner_iterations=inner_iterations,
+        shard_seconds=tuple(round_seconds),
+        critical_path_seconds=float(
+            sum(max(times, default=0.0) for times in round_seconds)
+        ),
+        serial_seconds=float(sum(sum(times) for times in round_seconds)),
+        diffused_mass_ratio=mass_ratio,
+    )
+    return estimate, report

@@ -1,0 +1,78 @@
+"""Cross-process peak-memory accounting for multiprocessing benchmarks.
+
+``tracemalloc`` only sees allocations made by the *current* process, so a
+benchmark that fans work out to a process pool under-reports its footprint:
+the parent's traced peak misses every worker-side buffer (shard operators,
+per-shard iterates, pickled round results).  This module is the contract
+between the benchmark harness (``benchmarks/conftest.measure_peak_memory``)
+and pool-spawning library code (:class:`repro.core.shard.PoolShardExecutor`):
+
+* the measurer calls :func:`enable_worker_tracing` before running the
+  measured callable (and :func:`disable_worker_tracing` after);
+* pool-spawning code checks :func:`worker_tracing_enabled` when it starts a
+  pool, runs every worker under ``tracemalloc``, ships each worker task's
+  traced peak back with the task result, and reports it to the parent with
+  :func:`record_child_peak`;
+* the measurer reads :func:`max_child_peak` once the callable returns and
+  reports ``parent_peak + max_child_peak``.
+
+``parent + max(child)`` is the deliberate aggregate: workers run
+concurrently with the parent, so the worst single worker adds to the
+parent's resident set, while *summing* all workers would over-count pools
+wider than the machine (workers at their peaks at different times).  It is
+a lower bound on the true fleet-wide peak for pools with >1 simultaneously
+peaking worker — callers that need the pessimistic bound can sum
+:func:`child_peaks` instead.
+
+The enable flag is mirrored in the ``REPRO_TRACE_WORKER_MEMORY``
+environment variable so worker processes observe it under any
+multiprocessing start method: ``fork`` children inherit the parent's
+environment (and module state) at fork time, ``spawn`` children re-import
+this module and read the variable fresh.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment mirror of the tracing flag (read by worker processes).
+TRACE_ENV = "REPRO_TRACE_WORKER_MEMORY"
+
+_child_peaks: list[int] = []
+
+
+def enable_worker_tracing() -> None:
+    """Ask subsequently created worker pools to trace their memory."""
+    os.environ[TRACE_ENV] = "1"
+
+
+def disable_worker_tracing() -> None:
+    """Stop asking worker pools to trace their memory."""
+    os.environ.pop(TRACE_ENV, None)
+
+
+def worker_tracing_enabled() -> bool:
+    """True when a measurement harness requested worker-side tracing."""
+    return os.environ.get(TRACE_ENV, "").strip() in ("1", "true", "yes")
+
+
+def record_child_peak(peak_bytes: int) -> None:
+    """Report one worker process's traced peak back to the parent."""
+    if peak_bytes < 0:
+        raise ValueError(f"peak_bytes must be >= 0, got {peak_bytes}")
+    _child_peaks.append(int(peak_bytes))
+
+
+def reset_child_peaks() -> None:
+    """Clear recorded worker peaks (start of a measurement)."""
+    _child_peaks.clear()
+
+
+def child_peaks() -> tuple[int, ...]:
+    """All worker peaks recorded since the last reset (one per task)."""
+    return tuple(_child_peaks)
+
+
+def max_child_peak() -> int:
+    """Largest worker peak recorded since the last reset (0 when none)."""
+    return max(_child_peaks, default=0)

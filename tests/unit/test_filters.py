@@ -278,3 +278,69 @@ class TestMultiAlphaPPR:
         second = ppr.apply(other, signal)
         assert not np.allclose(first, second)
         assert np.allclose(ppr.apply(operator, signal), first)
+
+
+class TestPrunedMassGuard:
+    def _personalization(self, n, dim=8, holders=6, seed=0):
+        rng = np.random.default_rng(seed)
+        nodes = np.sort(rng.choice(n, holders, replace=False))
+        block = rng.standard_normal((holders, dim))
+        return sp.csr_matrix(
+            (
+                block.ravel(),
+                (np.repeat(nodes, dim), np.tile(np.arange(dim), holders)),
+            ),
+            shape=(n, dim),
+        )
+
+    def test_collapse_epsilon_warns(self, operator, small_world_adjacency):
+        from repro.gsp.filters import PrunedMassWarning, SparsePersonalizedPageRank
+
+        signal = self._personalization(small_world_adjacency.n_nodes)
+        ppr = SparsePersonalizedPageRank(0.5, epsilon=0.01)
+        with pytest.warns(PrunedMassWarning):
+            result = ppr.apply_detailed(operator, signal)
+        assert result.diffused_mass_ratio is not None
+        assert result.diffused_mass_ratio < 0.5
+
+    def test_default_epsilon_silent(self, operator, small_world_adjacency):
+        import warnings
+
+        from repro.gsp.filters import PrunedMassWarning, SparsePersonalizedPageRank
+
+        signal = self._personalization(small_world_adjacency.n_nodes)
+        ppr = SparsePersonalizedPageRank(0.5)  # default epsilon 1e-3
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PrunedMassWarning)
+            result = ppr.apply_detailed(operator, signal)
+        assert result.diffused_mass_ratio is not None
+        assert result.diffused_mass_ratio >= 0.5
+
+    def test_warning_suppressible(self, operator, small_world_adjacency):
+        import warnings
+
+        from repro.gsp.filters import PrunedMassWarning, SparsePersonalizedPageRank
+
+        signal = self._personalization(small_world_adjacency.n_nodes)
+        ppr = SparsePersonalizedPageRank(0.5, epsilon=0.01, warn_pruned_mass=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PrunedMassWarning)
+            result = ppr.apply_detailed(operator, signal)
+        assert result.diffused_mass_ratio < 0.5
+
+    def test_unpruned_filter_reports_no_ratio(self, operator, small_world_adjacency):
+        from repro.gsp.filters import SparsePersonalizedPageRank
+
+        signal = self._personalization(small_world_adjacency.n_nodes)
+        result = SparsePersonalizedPageRank(0.5, epsilon=0.0).apply_detailed(
+            operator, signal
+        )
+        assert result.diffused_mass_ratio is None
+
+    def test_check_pruned_mass_bounds(self):
+        from repro.gsp.filters import check_pruned_mass
+
+        # Zero diffusable mass (empty personalization) is vacuously healthy.
+        assert check_pruned_mass(0.0, 0.0, 0.5, 0.01) == 1.0
+        # Bare-teleport collapse clamps to 0.
+        assert check_pruned_mass(10.0, 5.0, 0.5, 0.01, warn=False) == 0.0

@@ -128,3 +128,39 @@ class TestCycleUnionAdjacency:
 
         with pytest.raises(ValueError):
             cycle_union_adjacency(2, 4)
+
+
+class TestCommunityCycleAdjacency:
+    def test_connected_with_planted_blocks(self):
+        import networkx as nx
+        import numpy as np
+
+        from repro.graphs.generators import community_cycle_adjacency
+
+        adj = community_cycle_adjacency(
+            400, degree=8, n_communities=4, cross_fraction=0.05, seed=1
+        )
+        assert adj.n_nodes == 400
+        assert nx.is_connected(adj.to_networkx())
+        # Near-regular: every node close to `degree` neighbors.
+        assert abs(adj.degrees.mean() - 8) < 1.5
+        # Most edges stay inside the contiguous 100-node blocks.
+        src = np.repeat(np.arange(400), adj.degrees)
+        same_block = (src // 100) == (adj.indices // 100)
+        assert same_block.mean() > 0.85
+
+    def test_deterministic(self):
+        import numpy as np
+
+        from repro.graphs.generators import community_cycle_adjacency
+
+        a = community_cycle_adjacency(300, n_communities=3, seed=5)
+        b = community_cycle_adjacency(300, n_communities=3, seed=5)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_too_few_nodes_per_community_raises(self):
+        from repro.graphs.generators import community_cycle_adjacency
+
+        with pytest.raises(ValueError):
+            community_cycle_adjacency(8, n_communities=4)

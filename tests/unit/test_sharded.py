@@ -1,0 +1,331 @@
+"""Tests for the sharded parallel precompute (repro.core.shard)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import diffuse_embeddings, refresh_embeddings
+from repro.core.backends import ShardedDiffusionBackend, SparseDiffusionBackend
+from repro.core.search import DiffusionSearchNetwork
+from repro.core.shard import build_shard_plan
+from repro.graphs.generators import community_cycle_adjacency
+from repro.gsp.normalization import transition_matrix
+from repro.utils import procmem
+
+N, DIM, HOLDERS = 600, 12, 18
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return community_cycle_adjacency(
+        N, degree=8, n_communities=4, cross_fraction=0.05, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def e0(overlay):
+    rng = np.random.default_rng(11)
+    nodes = np.sort(rng.choice(N, HOLDERS, replace=False))
+    block = rng.standard_normal((HOLDERS, DIM))
+    return sp.csr_matrix(
+        (
+            block.ravel(),
+            (np.repeat(nodes, DIM), np.tile(np.arange(DIM), HOLDERS)),
+        ),
+        shape=(N, DIM),
+    )
+
+
+@pytest.fixture(scope="module")
+def exact(overlay, e0):
+    return diffuse_embeddings(
+        overlay, np.asarray(e0.todense()), alpha=0.5, method="solve"
+    ).embeddings
+
+
+def exact_backend(**kwargs):
+    """A sharded backend whose inner kernel does not prune (ε = 0)."""
+    kwargs.setdefault("inner", SparseDiffusionBackend(epsilon=0.0))
+    kwargs.setdefault("executor", "serial")
+    return ShardedDiffusionBackend(4, **kwargs)
+
+
+def canonical(matrix):
+    csr = matrix.tocsr().copy()
+    csr.sum_duplicates()
+    csr.sort_indices()
+    csr.eliminate_zeros()
+    return csr
+
+
+class TestShardPlan:
+    def test_every_node_in_exactly_one_shard(self, overlay):
+        plan = build_shard_plan(overlay, 4)
+        all_nodes = np.concatenate([s.nodes for s in plan.shards])
+        assert np.array_equal(np.sort(all_nodes), np.arange(N))
+        assert plan.assignment.shape == (N,)
+        assert plan.assignment.min() >= 0 and plan.assignment.max() < 4
+
+    def test_operator_entries_conserved(self, overlay):
+        # Intra + cross slices together hold every global operator entry.
+        plan = build_shard_plan(overlay, 4)
+        operator = transition_matrix(overlay, "column")
+        total = sum(
+            s.local_operator.nnz + s.cross_operator.nnz for s in plan.shards
+        )
+        assert total == operator.nnz
+
+    def test_local_operator_is_global_slice(self, overlay):
+        # Boundary nodes keep their *global* degree in the denominators:
+        # the intra block must equal the global operator's submatrix, not a
+        # re-normalized induced subgraph.
+        plan = build_shard_plan(overlay, 4)
+        operator = transition_matrix(overlay, "column").tocsr()
+        shard = plan.shards[0]
+        expected = operator[shard.nodes][:, shard.nodes]
+        assert np.abs(shard.local_operator - expected).max() == 0.0
+
+    def test_plan_memoized_on_adjacency(self, overlay):
+        a = build_shard_plan(overlay, 4)
+        b = build_shard_plan(overlay, 4)
+        assert a is b
+        c = build_shard_plan(overlay, 4, partition="degree")
+        assert c is not a
+
+    def test_explicit_assignment(self, overlay):
+        assignment = np.arange(N) % 3
+        plan = build_shard_plan(overlay, 3, assignment=assignment)
+        assert plan.partition == "explicit"
+        assert np.array_equal(plan.assignment, assignment)
+
+    def test_invalid_assignment_rejected(self, overlay):
+        with pytest.raises(ValueError):
+            build_shard_plan(overlay, 2, assignment=np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            build_shard_plan(
+                overlay, 2, assignment=np.full(N, 7, dtype=int)
+            )
+
+    def test_unknown_partition_rejected(self, overlay):
+        with pytest.raises(ValueError):
+            build_shard_plan(overlay, 2, partition="nope")
+
+    def test_community_cut_beats_degree_cut(self, overlay):
+        community = build_shard_plan(overlay, 4)
+        degree = build_shard_plan(overlay, 4, partition="degree")
+        assert community.cross_fraction < degree.cross_fraction
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("partition", ["community", "degree"])
+    def test_unpruned_sharded_matches_exact_solve(
+        self, overlay, e0, exact, partition
+    ):
+        backend = exact_backend(partition=partition)
+        outcome = diffuse_embeddings(
+            overlay, e0, alpha=0.5, method=backend, tol=1e-9
+        )
+        assert outcome.converged
+        assert np.abs(outcome.embeddings.toarray() - exact).max() < 1e-6
+
+    def test_pruned_sharded_matches_pruned_sparse(self, overlay, e0):
+        sparse = diffuse_embeddings(
+            overlay, e0, alpha=0.5, method="sparse", tol=1e-9
+        )
+        sharded = diffuse_embeddings(
+            overlay,
+            e0,
+            alpha=0.5,
+            method=ShardedDiffusionBackend(4, executor="serial"),
+            tol=1e-9,
+        )
+        # Both approximate the same diffusion with the same ε; their
+        # truncation frontiers differ slightly, so agreement is within the
+        # pruning error scale, not bitwise.
+        diff = np.abs(
+            sharded.embeddings.toarray() - sparse.embeddings.toarray()
+        ).max()
+        assert diff < 0.05
+
+    def test_single_shard_is_plain_sparse(self, overlay, e0):
+        # One shard ⇒ the local operator is the global operator and no
+        # residual ever crosses a boundary: same support, same values up to
+        # summation-order ULPs (the plan's operator slice re-sorts entries).
+        sparse = diffuse_embeddings(
+            overlay, e0, alpha=0.5, method="sparse", tol=1e-9
+        )
+        sharded = diffuse_embeddings(
+            overlay,
+            e0,
+            alpha=0.5,
+            method=ShardedDiffusionBackend(1, executor="serial"),
+            tol=1e-9,
+        )
+        a, b = canonical(sparse.embeddings), canonical(sharded.embeddings)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.abs(a.data - b.data).max() < 1e-12
+
+    def test_alpha_sweep(self, overlay, e0):
+        for alpha in (0.1, 0.9):
+            exact = diffuse_embeddings(
+                overlay, np.asarray(e0.todense()), alpha=alpha, method="solve"
+            ).embeddings
+            outcome = diffuse_embeddings(
+                overlay, e0, alpha=alpha, method=exact_backend(), tol=1e-9
+            )
+            assert outcome.converged
+            assert np.abs(outcome.embeddings.toarray() - exact).max() < 1e-6
+
+    def test_empty_personalization(self, overlay):
+        empty = sp.csr_matrix((N, DIM), dtype=np.float64)
+        outcome = diffuse_embeddings(
+            overlay, empty, alpha=0.5, method=exact_backend()
+        )
+        assert outcome.converged
+        assert outcome.embeddings.nnz == 0
+
+
+class TestExecutorDeterminism:
+    @pytest.mark.parametrize("epsilon", [0.0, 1e-3])
+    def test_pool_bit_identical_to_serial(self, overlay, e0, epsilon):
+        results = []
+        for executor, workers in (("serial", None), ("pool", 2)):
+            backend = ShardedDiffusionBackend(
+                4,
+                inner=SparseDiffusionBackend(epsilon=epsilon),
+                executor=executor,
+                workers=workers,
+            )
+            outcome = diffuse_embeddings(
+                overlay, e0, alpha=0.5, method=backend, tol=1e-9, seed=123
+            )
+            results.append(canonical(outcome.embeddings))
+        serial, pool = results
+        assert np.array_equal(serial.indptr, pool.indptr)
+        assert np.array_equal(serial.indices, pool.indices)
+        assert np.array_equal(serial.data, pool.data)
+
+    def test_repeated_runs_identical(self, overlay, e0):
+        runs = [
+            canonical(
+                diffuse_embeddings(
+                    overlay,
+                    e0,
+                    alpha=0.5,
+                    method=exact_backend(),
+                    tol=1e-9,
+                    seed=7,
+                ).embeddings
+            )
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].data, runs[1].data)
+
+    def test_run_report_diagnostics(self, overlay, e0):
+        backend = exact_backend()
+        diffuse_embeddings(overlay, e0, alpha=0.5, method=backend, tol=1e-9)
+        report = backend.last_report
+        assert report is not None
+        assert report.converged
+        assert report.rounds >= 1
+        assert len(report.shard_seconds) == report.rounds
+        assert report.critical_path_seconds <= report.serial_seconds
+        assert report.inner_iterations > 0
+
+
+class TestIncrementalRefresh:
+    def test_refresh_matches_full_rerun(self, overlay, e0):
+        backend = exact_backend()
+        base = diffuse_embeddings(
+            overlay, e0, alpha=0.5, method=backend, tol=1e-9
+        )
+        delta = sp.csr_matrix(
+            (np.ones(DIM), (np.full(DIM, 7), np.arange(DIM))), shape=(N, DIM)
+        )
+        patched = refresh_embeddings(
+            overlay, base.embeddings, delta, alpha=0.5, method=backend, tol=1e-9
+        )
+        assert patched.incremental and patched.converged
+        full = diffuse_embeddings(
+            overlay, (e0 + delta).tocsr(), alpha=0.5, method=backend, tol=1e-9
+        )
+        diff = np.abs(
+            patched.embeddings.toarray() - full.embeddings.toarray()
+        ).max()
+        assert diff < 1e-6
+
+
+class TestWorkerMemoryTracing:
+    def test_pool_reports_child_peaks(self, overlay, e0):
+        procmem.reset_child_peaks()
+        procmem.enable_worker_tracing()
+        try:
+            backend = ShardedDiffusionBackend(4, executor="pool", workers=2)
+            diffuse_embeddings(overlay, e0, alpha=0.5, method=backend)
+        finally:
+            procmem.disable_worker_tracing()
+        assert len(procmem.child_peaks()) > 0
+        assert procmem.max_child_peak() > 0
+        procmem.reset_child_peaks()
+
+    def test_serial_reports_no_child_peaks(self, overlay, e0):
+        procmem.reset_child_peaks()
+        procmem.enable_worker_tracing()
+        try:
+            diffuse_embeddings(overlay, e0, alpha=0.5, method=exact_backend())
+        finally:
+            procmem.disable_worker_tracing()
+        # Serial allocations are the parent's own; reporting them as child
+        # peaks would double-count in measure_peak_memory.
+        assert procmem.max_child_peak() == 0
+
+
+class TestFacadeComposition:
+    def test_network_diffuse_and_search(self, overlay):
+        rng = np.random.default_rng(5)
+        net = DiffusionSearchNetwork(overlay, dim=DIM, alpha=0.5)
+        embeddings = rng.standard_normal((6, DIM))
+        for i in range(6):
+            net.place_document(f"doc-{i}", embeddings[i], node=i * 90)
+        backend = exact_backend()
+        outcome = net.diffuse(method=backend, tol=1e-9)
+        assert outcome.converged and not outcome.incremental
+        assert net.csr_embeddings is not None
+        result = net.search(embeddings[0], start_node=300, ttl=40, seed=1)
+        assert result.best is not None
+
+    def test_network_incremental_refresh(self, overlay):
+        rng = np.random.default_rng(6)
+        net = DiffusionSearchNetwork(overlay, dim=DIM, alpha=0.5)
+        backend = exact_backend()
+        net.place_document("a", rng.standard_normal(DIM), node=10)
+        net.diffuse(method=backend, tol=1e-9)
+        net.place_document("b", rng.standard_normal(DIM), node=480)
+        outcome = net.diffuse(method=backend, tol=1e-9)
+        assert outcome.incremental and outcome.converged
+        assert not net.is_stale
+
+
+class TestValidation:
+    def test_bad_executor_name(self):
+        with pytest.raises(ValueError):
+            ShardedDiffusionBackend(2, executor="threads")
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ShardedDiffusionBackend(2, workers=0)
+
+    def test_inner_without_operator_hook(self, overlay, e0):
+        backend = ShardedDiffusionBackend(
+            2, inner="power", executor="serial"
+        )
+        with pytest.raises(NotImplementedError):
+            diffuse_embeddings(overlay, e0, alpha=0.5, method=backend)
+
+    def test_registered_by_name(self, overlay, e0):
+        outcome = diffuse_embeddings(
+            overlay, e0, alpha=0.5, method="sharded", tol=1e-9
+        )
+        assert outcome.method == "sharded"
+        assert outcome.converged
