@@ -22,7 +22,12 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.core.search import DiffusionSearchNetwork
-from repro.core.engine import SearchResult, WalkConfig, run_query
+from repro.core.engine import (
+    ResilienceConfig,
+    SearchResult,
+    WalkConfig,
+    run_query,
+)
 from repro.core.batch import run_queries
 from repro.core.backends import (
     DiffusionBackend,
@@ -55,6 +60,7 @@ from repro.gsp.filters import (
 )
 from repro.retrieval.topk import ScoredDocument, TopKTracker
 from repro.retrieval.vector_store import DocumentStore
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.gossip import AsyncPPRDiffusion
 from repro.simulation.scenario import AccuracyScenario, HopCountScenario
 from repro.simulation.workload import RetrievalWorkload, build_workload
@@ -69,7 +75,10 @@ __all__ = [
     "DiffusionSearchNetwork",
     "SearchResult",
     "WalkConfig",
+    "ResilienceConfig",
     "run_query",
+    "FaultPlan",
+    "FaultInjector",
     "run_queries",
     "DiffusionOutcome",
     "diffuse_embeddings",

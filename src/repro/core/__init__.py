@@ -42,7 +42,12 @@ from repro.core.forwarding import (
     PrecomputedScorePolicy,
     RandomWalkPolicy,
 )
-from repro.core.engine import WalkConfig, SearchResult, run_query
+from repro.core.engine import (
+    ResilienceConfig,
+    SearchResult,
+    WalkConfig,
+    run_query,
+)
 from repro.core.batch import run_queries
 from repro.core.aggregation import (
     ChannelHasher,
@@ -77,6 +82,7 @@ __all__ = [
     "RandomWalkPolicy",
     "DegreeBiasedPolicy",
     "WalkConfig",
+    "ResilienceConfig",
     "SearchResult",
     "run_query",
     "run_queries",

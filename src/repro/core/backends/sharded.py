@@ -24,7 +24,6 @@ refresh after refresh — pay the partition and operator slicing once.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 
 import numpy as np
@@ -74,10 +73,17 @@ class ShardedDiffusionBackend(DiffusionBackend):
     executor:
         ``"pool"`` (default) fans shards out to a forked process pool;
         ``"serial"`` runs them in-process (debugging/equivalence — the two
-        are bit-identical).  Falls back to serial where ``fork`` is
-        unavailable.
+        are bit-identical).  Where ``fork`` is unavailable the pool
+        degrades to serial with a ``UserWarning``.
     workers:
         Pool width; default ``min(n_shards, os.cpu_count())``.
+    task_timeout:
+        Seconds to wait for one pool round before treating a worker as
+        dead and retrying the round on a fresh pool (self-healing; see
+        :class:`repro.core.shard.PoolShardExecutor`).  ``None`` (default)
+        waits forever, the behavior of a fault-free deployment.
+    pool_retries:
+        Pool-failure retry budget before degrading to the serial executor.
     """
 
     name = "sharded"
@@ -94,6 +100,8 @@ class ShardedDiffusionBackend(DiffusionBackend):
         workers: int | None = None,
         partition_seed: int = 0,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
+        task_timeout: float | None = None,
+        pool_retries: int = 2,
     ) -> None:
         check_positive(n_shards, "n_shards")
         check_positive(max_rounds, "max_rounds")
@@ -112,6 +120,8 @@ class ShardedDiffusionBackend(DiffusionBackend):
         self.workers = workers
         self.partition_seed = int(partition_seed)
         self.max_rounds = int(max_rounds)
+        self.task_timeout = task_timeout
+        self.pool_retries = int(pool_retries)
         #: Diagnostics of the most recent run (rounds, per-shard seconds,
         #: critical path) — how the scale benchmark reads modeled speedup.
         self.last_report: ShardedRunReport | None = None
@@ -143,16 +153,19 @@ class ShardedDiffusionBackend(DiffusionBackend):
             max_iterations=max_iterations,
             seed=seed,
         )
-        use_pool = (
-            self.executor == "pool"
-            and "fork" in multiprocessing.get_all_start_methods()
-        )
-        if not use_pool:
+        if self.executor != "pool":
             return SerialShardExecutor(state)
         workers = self.workers
         if workers is None:
             workers = min(plan.n_shards, os.cpu_count() or 1)
-        return PoolShardExecutor(state, max(1, min(workers, plan.n_shards)))
+        # Where `fork` is unavailable the constructor degrades to a
+        # SerialShardExecutor with a UserWarning (never a hard error).
+        return PoolShardExecutor(
+            state,
+            max(1, min(workers, plan.n_shards)),
+            task_timeout=self.task_timeout,
+            max_retries=self.pool_retries,
+        )
 
     def _run(
         self,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping
+from typing import TYPE_CHECKING, Hashable, Mapping
 
 import numpy as np
 
@@ -25,8 +25,11 @@ from repro.core.forwarding import ForwardingPolicy
 from repro.graphs.adjacency import CompressedAdjacency
 from repro.retrieval.topk import ScoredDocument, TopKTracker
 from repro.retrieval.vector_store import DocumentStore
-from repro.utils import check_positive, ensure_rng
+from repro.utils import check_non_negative, check_positive, ensure_rng
 from repro.utils.rng import RngLike
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -57,6 +60,37 @@ class WalkConfig:
         check_positive(self.k, "k")
 
 
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Failure-handling knobs of the resilient walk (used with ``faults``).
+
+    Attributes
+    ----------
+    max_retries:
+        Per-hop budget of *failed* forwarding attempts (detected-dead
+        reroutes plus dropped-message retries) before the walker gives up.
+    retry_backoff:
+        TTL units a walker burns per failed attempt — the synchronous
+        engine's model of a detection timeout plus backoff wait.  Retry
+        overhead therefore shows up in the walk budget, where the
+        fault-tolerance benchmark measures it.
+    redundancy:
+        Number of walkers launched at the query source (k-redundant
+        walking).  Walkers share the per-(query, node) visited memory, so
+        redundancy widens coverage instead of duplicating it, and their
+        results merge in the query's single top-k tracker.
+    """
+
+    max_retries: int = 2
+    retry_backoff: int = 1
+    redundancy: int = 1
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.max_retries, "max_retries")
+        check_non_negative(self.retry_backoff, "retry_backoff")
+        check_positive(self.redundancy, "redundancy")
+
+
 @dataclass
 class SearchResult:
     """Outcome of one query execution."""
@@ -67,6 +101,14 @@ class SearchResult:
     visits: list[tuple[int, int]]  # (hop index, node id) in processing order
     discovered_at: dict[Hashable, int] = field(default_factory=dict)
     messages: int = 0
+    #: Fault-injection outcome (all zero / False on a fault-free run):
+    #: ``degraded`` means at least one walker died of failures (or the
+    #: source itself was down) and the results are best-so-far partials.
+    degraded: bool = False
+    retries: int = 0  # dropped-message resends
+    rerouted: int = 0  # detected-dead-peer reroutes
+    walkers_lost: int = 0  # walkers that died with TTL remaining
+    zombie_visits: int = 0  # visits whose local evaluation was stale/useless
 
     @property
     def results(self) -> list[ScoredDocument]:
@@ -146,6 +188,8 @@ def run_query(
     *,
     query_id: Hashable = None,
     seed: RngLike = None,
+    faults: "FaultInjector | None" = None,
+    resilience: ResilienceConfig | None = None,
 ) -> SearchResult:
     """Execute one query from ``start_node`` per the Fig. 1 protocol.
 
@@ -160,6 +204,23 @@ def run_query(
     seed:
         Drives stochastic policies only; the default embedding-guided policy
         is deterministic.
+    faults:
+        A :class:`repro.runtime.faults.FaultInjector` to walk through.  With
+        ``None`` (the default) the engine runs the exact fault-free protocol
+        — bit-identical to the pre-resilience implementation, pinned by
+        equivalence tests.  With an injector, forwarding gains failure
+        detection: a message to a crashed peer times out and the walker
+        reroutes to the next-best-scoring live neighbor; a dropped message
+        is retried; each failed attempt burns ``resilience.retry_backoff``
+        TTL, and after ``resilience.max_retries`` failures at one hop the
+        walker dies.  When every walker dies early the query returns its
+        best-so-far partial results with ``result.degraded`` set instead of
+        raising.  The hop index serves as the injector's logical clock.
+    resilience:
+        Retry/backoff/redundancy knobs (defaults: 2 retries, backoff 1,
+        redundancy 1).  ``redundancy=k`` launches ``max(fanout, k)`` source
+        walkers sharing one visited memory — also honored without faults,
+        where it is equivalent to ``fanout=k``.
     """
     config = config or WalkConfig()
     rng = ensure_rng(seed)
@@ -182,22 +243,33 @@ def run_query(
     # is a single fancy-index instead of a per-hop set→list→``np.isin`` scan.
     memory: dict[int, np.ndarray] = {}
 
-    def visit(node: int, hop: int) -> None:
+    def visit(node: int, hop: int, *, skip_store: bool = False) -> None:
         result.visits.append((hop, node))
+        if skip_store:
+            # Zombie peer: it routes, but its local evaluation is stale.
+            return
         store = stores.get(node) or _empty_store(dim)
         for doc_id, score in store.top_k(query_embedding, config.k):
             tracker.offer(doc_id, score, node)
             result.discovered_at.setdefault(doc_id, hop)
 
-    def next_hops(node: int, fanout: int) -> np.ndarray:
+    def next_hops(
+        node: int, fanout: int, exclude: set[int] | None = None
+    ) -> np.ndarray:
         neighbors = adjacency.neighbors(node)
         if neighbors.size == 0:
             return neighbors
         seen = memory.get(node)
         candidates = neighbors if seen is None else neighbors[~seen]
+        if exclude:
+            candidates = candidates[~np.isin(candidates, list(exclude))]
         if candidates.size == 0:
             # Footnote 9: don't waste the remaining TTL — consider everyone.
             candidates = neighbors
+            if exclude:
+                candidates = candidates[~np.isin(candidates, list(exclude))]
+            if candidates.size == 0:
+                return candidates
         return policy.select(query_embedding, candidates, fanout, rng)
 
     def remember(node: int, other: int) -> None:
@@ -213,20 +285,86 @@ def run_query(
 
     # Walker queue processed in hop order: (node, hop, remaining ttl before
     # this node's decrement, fanout for this node's forwarding decision).
+    # Redundant walkers are extra source fanout sharing the visited memory.
+    source_fanout = config.fanout
+    if resilience is not None:
+        source_fanout = max(source_fanout, resilience.redundancy)
     frontier: deque[tuple[int, int, int, int]] = deque()
-    frontier.append((int(start_node), 0, config.ttl, config.fanout))
+    frontier.append((int(start_node), 0, config.ttl, source_fanout))
+
+    if faults is None:
+        # The fault-free fast path: exactly the pre-resilience protocol
+        # (equivalence tests pin this loop bit-identical to the seed).
+        while frontier:
+            node, hop, ttl, fanout = frontier.popleft()
+            visit(node, hop)
+            ttl -= 1  # Fig. 1 step 3
+            if ttl <= 0:
+                continue  # Fig. 1 step 4b: discard (response backtracks)
+            for target in next_hops(node, fanout):
+                target = int(target)
+                remember(node, target)
+                remember(target, node)
+                result.messages += 1
+                frontier.append((target, hop + 1, ttl, 1))
+        return result
+
+    # ------------------------------------------------- failure-resilient walk
+    res = resilience or ResilienceConfig()
+    if not faults.alive(int(start_node), 0.0):
+        # The querying node itself is down: nothing can even be evaluated.
+        result.degraded = True
+        result.walkers_lost = source_fanout
+        return result
 
     while frontier:
         node, hop, ttl, fanout = frontier.popleft()
-        visit(node, hop)
+        zombie = faults.is_zombie(node)
+        if zombie:
+            result.zombie_visits += 1
+        visit(node, hop, skip_store=zombie)
         ttl -= 1  # Fig. 1 step 3
         if ttl <= 0:
-            continue  # Fig. 1 step 4b: discard (response backtracks)
-        for target in next_hops(node, fanout):
-            target = int(target)
-            remember(node, target)
-            remember(target, node)
+            continue
+        # Forward `fanout` walkers one attempt at a time so a failure can
+        # reroute to the next-best-scoring *live* neighbor.  `unreachable`
+        # accumulates peers this node found dead (or already chose) at this
+        # hop; failed attempts burn TTL (timeout + backoff) and count
+        # against the per-hop retry budget.
+        sent = 0
+        failures = 0
+        unreachable: set[int] = set()
+        died_of_faults = False
+        while sent < fanout and ttl > 0:
+            targets = next_hops(node, 1, exclude=unreachable)
+            if targets.size == 0:
+                died_of_faults = bool(unreachable)
+                break
+            target = int(targets[0])
             result.messages += 1
-            frontier.append((target, hop + 1, ttl, 1))
+            if not faults.alive(target, float(hop + 1)):
+                # No ack before the timeout: mark dead, reroute.
+                failures += 1
+                result.rerouted += 1
+                faults.note_crash_detection()
+                unreachable.add(target)
+            elif not faults.deliver(node, target):
+                # Message lost in flight: retry (same peer stays eligible).
+                failures += 1
+                result.retries += 1
+            else:
+                remember(node, target)
+                remember(target, node)
+                frontier.append((target, hop + 1, ttl, 1))
+                unreachable.add(target)  # one walker per distinct peer
+                sent += 1
+                continue
+            if failures > res.max_retries:
+                died_of_faults = True
+                break
+            ttl -= res.retry_backoff
+        if sent < fanout and (died_of_faults or (ttl <= 0 and failures > 0)):
+            result.walkers_lost += fanout - sent
+            result.degraded = True
 
     return result

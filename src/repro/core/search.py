@@ -46,7 +46,12 @@ import scipy.sparse as sp
 
 from repro.core.backends import DiffusionBackend
 from repro.core.diffusion import DiffusionOutcome, resolve_backend
-from repro.core.engine import SearchResult, WalkConfig, run_query
+from repro.core.engine import (
+    ResilienceConfig,
+    SearchResult,
+    WalkConfig,
+    run_query,
+)
 from repro.core.forwarding import EmbeddingGuidedPolicy, ForwardingPolicy
 from repro.core.personalization import (
     PersonalizationWeighting,
@@ -58,6 +63,7 @@ from repro.graphs.adjacency import CompressedAdjacency
 from repro.gsp.normalization import NormalizationKind
 from repro.retrieval.topk import TopKTracker
 from repro.retrieval.vector_store import DocumentStore
+from repro.runtime.faults import FaultInjector
 from repro.runtime.network import LatencyModel, SimNetwork
 from repro.utils.rng import RngLike
 
@@ -419,8 +425,18 @@ class DiffusionSearchNetwork:
         policy: ForwardingPolicy | None = None,
         query_id: Hashable = None,
         seed: RngLike = None,
+        faults: FaultInjector | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> SearchResult:
-        """Execute a query with the fast walk engine."""
+        """Execute a query with the fast walk engine.
+
+        ``faults``/``resilience`` run the failure-resilient protocol (see
+        :func:`repro.core.engine.run_query`): detected-dead peers are
+        rerouted around, dropped messages retried, and a query whose
+        walkers all die returns best-so-far results with
+        ``result.degraded`` set.  Without an injector the walk is
+        bit-identical to the fault-free engine.
+        """
         config = WalkConfig(ttl=ttl, fanout=fanout, k=k)
         return run_query(
             self.adjacency,
@@ -431,6 +447,8 @@ class DiffusionSearchNetwork:
             config,
             query_id=query_id,
             seed=seed,
+            faults=faults,
+            resilience=resilience,
         )
 
     def search_on_runtime(
@@ -444,6 +462,7 @@ class DiffusionSearchNetwork:
         latency: LatencyModel | None = None,
         seed: RngLike = None,
         max_events: int | None = None,
+        faults: FaultInjector | None = None,
     ) -> SearchResult:
         """Execute the same query through the event-driven message protocol.
 
@@ -452,9 +471,19 @@ class DiffusionSearchNetwork:
         embeddings), runs to quiescence including response backtracking, and
         reconstructs a :class:`SearchResult`.  Single-walk (fanout 1), as in
         the paper's evaluation.
+
+        With a ``faults`` injector installed, messages can be dropped,
+        duplicated, or delayed and peers can crash mid-walk per the
+        injector's plan.  A walk that dies in flight (the query or a
+        backtracking response lost) would leave the source waiting forever;
+        instead the result is reconstructed from the forwarding trace as
+        best-so-far partials with ``degraded=True`` — the same graceful
+        degradation contract as the fast engine.
         """
         embeddings = self.embeddings
         network = SimNetwork(self.adjacency, latency=latency, seed=seed)
+        if faults is not None:
+            faults.install(network)
         trace: list[tuple[Hashable, int]] = []
         dim = self.dim
         for node_id in range(self.n_nodes):
@@ -468,6 +497,15 @@ class DiffusionSearchNetwork:
                 )
             )
         network.start()
+        if faults is not None and network.is_down(start_node):
+            return SearchResult(
+                query_id=query_id,
+                start_node=int(start_node),
+                tracker=TopKTracker(k),
+                visits=[],
+                degraded=True,
+                walkers_lost=1,
+            )
         source = network.actor(start_node)
         assert isinstance(source, QueryRoutingNode)
         source.initiate(
@@ -475,7 +513,19 @@ class DiffusionSearchNetwork:
         )
         network.run(max_events=max_events)
 
+        completed = query_id in source.completed
         items = source.completed.get(query_id, ())
+        if not completed and faults is not None:
+            # The walk (or its backtracking response) died in flight.
+            # Rebuild best-so-far from the nodes the query provably reached.
+            tracker = TopKTracker(k)
+            for _, node in trace:
+                store = self.stores.get(node)
+                if store is None:
+                    continue
+                for doc_id, score in store.top_k(query_embedding, k):
+                    tracker.offer(doc_id, score, node)
+            items = tuple(tracker.items())
         tracker = TopKTracker.from_items(k, items)
         result = SearchResult(
             query_id=query_id,
@@ -483,6 +533,8 @@ class DiffusionSearchNetwork:
             tracker=tracker,
             visits=[(hop, node) for hop, (_, node) in enumerate(trace)],
             messages=network.stats.messages,
+            degraded=not completed and faults is not None,
+            walkers_lost=int(not completed and faults is not None),
         )
         # Reconstruct first-discovery hops from the visit order.
         for hop, (_, node) in enumerate(trace):

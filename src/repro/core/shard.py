@@ -54,7 +54,11 @@ Execution
 a forked worker pool.  Both execute the *same* task function with the same
 deterministic per-shard seeds (:func:`repro.utils.rng.shard_rng`) and merge
 results in shard-id order, so the two executors — and repeated runs — are
-bit-identical.  Pool workers run under ``tracemalloc`` when a benchmark
+bit-identical.  The pool is *self-healing*: a worker killed or wedged
+mid-round is detected by the ``task_timeout``, the round is resubmitted on
+a fresh pool (pure tasks ⇒ identical results), and a pool that keeps
+failing degrades to the serial executor with a warning instead of aborting
+the precompute.  Pool workers run under ``tracemalloc`` when a benchmark
 harness requests it (:mod:`repro.utils.procmem`) and ship their traced
 peaks back with each task result, so ``measure_peak_memory`` can report the
 fleet-wide ``parent + max(child)`` footprint.
@@ -432,34 +436,111 @@ class SerialShardExecutor:
 
 
 class PoolShardExecutor:
-    """Fan shard tasks out to a persistent forked worker pool.
+    """Fan shard tasks out to a persistent, self-healing forked worker pool.
 
     The pool is created with the ``fork`` start method so the shard plan —
     the heavy, static part — reaches workers by copy-on-write inheritance
     through the initializer instead of pickling; only per-round residual
     blocks (small, shrinking geometrically) cross the task queue.
-    ``pool.map`` preserves task order, so merge order — and therefore the
-    result — is identical to :class:`SerialShardExecutor`.
+    ``pool.map_async`` preserves task order, so merge order — and therefore
+    the result — is identical to :class:`SerialShardExecutor`.
+
+    Self-healing: with a ``task_timeout`` (seconds) set, a round that does
+    not complete in time — the signature of a killed or wedged worker; raw
+    ``multiprocessing.Pool`` silently loses the in-flight task and blocks
+    forever — or that raises from a worker is retried on a freshly forked
+    pool, up to ``max_retries`` times.  Shard tasks are pure functions of
+    ``(state, shard_id, residual_block)``, so a retried round is
+    bit-identical to an undisturbed one.  When the retry budget is
+    exhausted the executor downgrades itself to a
+    :class:`SerialShardExecutor` for the rest of the run with a
+    ``UserWarning`` — the precompute finishes slower instead of crashing.
+    The default ``task_timeout=None`` preserves the original wait-forever
+    behavior for fault-free deployments.
+
+    Platforms without ``fork`` (Windows; macOS under the default ``spawn``
+    method) get a :class:`SerialShardExecutor` back from the constructor
+    with a ``UserWarning`` instead of a hard error, so
+    ``ShardedDiffusionBackend(..., workers=N)`` runs everywhere.
     """
 
-    def __init__(self, state: _WorkerState, workers: int) -> None:
-        check_positive(workers, "workers")
+    def __new__(
+        cls,
+        state: _WorkerState,
+        workers: int,
+        *,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+    ):
         if "fork" not in multiprocessing.get_all_start_methods():
-            raise RuntimeError(
-                "PoolShardExecutor needs the 'fork' start method (shard "
-                "operators are shared copy-on-write); use "
-                "SerialShardExecutor on this platform"
+            warnings.warn(
+                "the 'fork' start method is unavailable on this platform; "
+                "shard operators cannot be shared copy-on-write — "
+                "degrading to SerialShardExecutor (single-process)",
+                UserWarning,
+                stacklevel=2,
             )
+            return SerialShardExecutor(state)
+        return super().__new__(cls)
+
+    def __init__(
+        self,
+        state: _WorkerState,
+        workers: int,
+        *,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+    ) -> None:
+        check_positive(workers, "workers")
+        if task_timeout is not None:
+            check_positive(task_timeout, "task_timeout")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self._state = state
         self.workers = int(workers)
-        self._pool = multiprocessing.get_context("fork").Pool(
-            self.workers, initializer=_pool_init, initargs=(state,)
+        self.task_timeout = task_timeout
+        self.max_retries = int(max_retries)
+        #: Rounds that had to be resubmitted after a pool failure.
+        self.retried_rounds = 0
+        self._serial_fallback: SerialShardExecutor | None = None
+        self._pool = self._spawn_pool()
+
+    def _spawn_pool(self):
+        return multiprocessing.get_context("fork").Pool(
+            self.workers, initializer=_pool_init, initargs=(self._state,)
         )
 
     def run_round(
         self, tasks: list[tuple[int, sp.csr_matrix]]
     ) -> list[ShardTaskResult]:
-        results = self._pool.map(_pool_task, tasks)
+        if self._serial_fallback is not None:
+            return self._serial_fallback.run_round(tasks)
+        attempts = 0
+        while True:
+            try:
+                results = self._pool.map_async(_pool_task, tasks).get(
+                    self.task_timeout
+                )
+                break
+            except Exception as exc:  # timeout (lost worker) or task error
+                attempts += 1
+                self.retried_rounds += 1
+                # terminate(), not close(): the wedged round's tasks must
+                # not keep a dead pool's queues alive.
+                self._pool.terminate()
+                self._pool.join()
+                if attempts <= self.max_retries:
+                    self._pool = self._spawn_pool()
+                    continue
+                warnings.warn(
+                    f"shard pool failed {attempts} consecutive times "
+                    f"(last error: {exc!r}); falling back to "
+                    "SerialShardExecutor for the rest of this run",
+                    UserWarning,
+                    stacklevel=2,
+                )
+                self._serial_fallback = SerialShardExecutor(self._state)
+                return self._serial_fallback.run_round(tasks)
         if self._state.trace_memory:
             for result in results:
                 if result.peak_bytes:
@@ -467,6 +548,8 @@ class PoolShardExecutor:
         return results
 
     def close(self) -> None:
+        if self._serial_fallback is not None:
+            return
         self._pool.close()
         self._pool.join()
 

@@ -9,6 +9,13 @@ asynchronous diffusion overlay — plus churn operations (join/leave/update).
 """
 
 from repro.runtime.events import EventQueue, ScheduledEvent
+from repro.runtime.faults import (
+    CrashWindow,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    choose_live_starts,
+)
 from repro.runtime.network import LatencyModel, SimNetwork, TrafficStats
 from repro.runtime.node import SimNode
 from repro.runtime.gossip import (
@@ -22,6 +29,11 @@ from repro.runtime.convergence import fixed_point_residual, diffusion_error
 __all__ = [
     "EventQueue",
     "ScheduledEvent",
+    "CrashWindow",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "choose_live_starts",
     "LatencyModel",
     "SimNetwork",
     "TrafficStats",

@@ -8,15 +8,18 @@ it holds connections to.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable
+from typing import TYPE_CHECKING, Any, Hashable, Iterable
 
 import numpy as np
 
 from repro.graphs.adjacency import CompressedAdjacency
 from repro.runtime.events import EventQueue
 from repro.runtime.node import SimNode
-from repro.utils import check_non_negative, ensure_rng
+from repro.utils import check_non_negative, check_probability, ensure_rng
 from repro.utils.rng import RngLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -38,17 +41,30 @@ class LatencyModel:
 
 @dataclass
 class TrafficStats:
-    """Message and (approximate) byte accounting for a simulation run."""
+    """Message and (approximate) byte accounting for a simulation run.
+
+    ``by_type`` counts sends per message class; dropped messages are
+    *additionally* counted under a ``dropped:``-prefixed key, so per-type
+    loss is observable (a protocol that tolerates losing ``EmbeddingPush``
+    but not ``QueryResponse`` can tell the two apart).
+    """
 
     messages: int = 0
     bytes: float = 0.0
     dropped: int = 0
+    duplicated: int = 0
     by_type: dict[str, int] = field(default_factory=dict)
 
     def record(self, message: Any) -> None:
         self.messages += 1
         self.bytes += float(getattr(message, "size_bytes", lambda: 64.0)())
         name = type(message).__name__
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+
+    def record_dropped(self, message: Any) -> None:
+        """Count one lost message (already recorded as sent by :meth:`record`)."""
+        self.dropped += 1
+        name = f"dropped:{type(message).__name__}"
         self.by_type[name] = self.by_type.get(name, 0) + 1
 
 
@@ -61,15 +77,21 @@ class SimNetwork:
         Initial undirected topology; nodes are the internal ids ``0..n-1``.
     latency:
         Link delay model applied to every message.
-    loss_probability:
+    drop_probability:
         Independent probability that any message is silently dropped in
         flight (failure injection).  Protocols relying on periodic
         retransmission (e.g. periodic-mode gossip) tolerate loss; one-shot
         push protocols may stall, which tests exercise deliberately.
+        (``loss_probability`` is accepted as a legacy alias.)
     seed:
         Seeds latency jitter and loss draws (and nothing else — node logic
         draws from its own streams so traffic noise never perturbs protocol
         randomness).
+
+    Richer failure modes — node crash/recover schedules, per-message
+    duplication and extra delay — are injected by installing a
+    :class:`repro.runtime.faults.FaultInjector`
+    (``injector.install(network)``) rather than through constructor knobs.
     """
 
     def __init__(
@@ -77,23 +99,33 @@ class SimNetwork:
         topology: CompressedAdjacency,
         *,
         latency: LatencyModel | None = None,
-        loss_probability: float = 0.0,
+        drop_probability: float = 0.0,
+        loss_probability: float | None = None,
         seed: RngLike = None,
     ) -> None:
-        check_non_negative(loss_probability, "loss_probability")
-        if loss_probability >= 1.0:
-            raise ValueError("loss_probability must be < 1 (nothing would arrive)")
+        if loss_probability is not None:
+            drop_probability = loss_probability
+        check_probability(drop_probability, "drop_probability")
+        if drop_probability >= 1.0:
+            raise ValueError("drop_probability must be < 1 (nothing would arrive)")
         self.queue = EventQueue()
         self.latency = latency or LatencyModel()
-        self.loss_probability = float(loss_probability)
+        self.drop_probability = float(drop_probability)
         self._rng = ensure_rng(seed)
         self._adjacency: dict[int, set[int]] = {
             u: set(int(v) for v in topology.neighbors(u))
             for u in range(topology.n_nodes)
         }
         self._nodes: dict[int, SimNode] = {}
+        self._down: set[int] = set()
+        self._fault_injector: "FaultInjector | None" = None
         self.stats = TrafficStats()
         self._started = False
+
+    @property
+    def loss_probability(self) -> float:
+        """Legacy alias of :attr:`drop_probability`."""
+        return self.drop_probability
 
     # ------------------------------------------------------------- topology
 
@@ -148,6 +180,35 @@ class SimNetwork:
             if actor is not None and self._started:
                 actor.on_neighbor_removed(other)
 
+    # ------------------------------------------------------------- failures
+
+    def set_fault_injector(self, injector: "FaultInjector | None") -> None:
+        """Register the per-message fault hook (see :mod:`repro.runtime.faults`)."""
+        self._fault_injector = injector
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash ``node_id``: it stops sending, receiving, and firing timers.
+
+        Unlike :meth:`remove_node` (churn: a voluntary, announced leave),
+        a crash keeps the topology intact — neighbors still *believe* the
+        links exist, exactly the condition failure detection in the query
+        path has to handle.
+        """
+        if node_id not in self._adjacency:
+            raise ValueError(f"node {node_id} is not in the topology")
+        self._down.add(int(node_id))
+
+    def restore_node(self, node_id: int) -> None:
+        """Bring a crashed node back (protocol state is whatever it was)."""
+        self._down.discard(int(node_id))
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self._down
+
+    @property
+    def down_nodes(self) -> frozenset[int]:
+        return frozenset(self._down)
+
     def to_adjacency(self) -> CompressedAdjacency:
         """Snapshot the live topology as a :class:`CompressedAdjacency`."""
         nodes = sorted(self._adjacency)
@@ -195,26 +256,45 @@ class SimNetwork:
         """Deliver ``message`` from ``src`` to adjacent ``dst`` after latency."""
         if dst not in self._adjacency.get(src, ()):
             raise ValueError(f"no edge {src} -> {dst}; nodes may only message neighbors")
-        self.stats.record(message)
-        if self.loss_probability and self._rng.random() < self.loss_probability:
-            self.stats.dropped += 1
+        if src in self._down:
+            # A crashed process produces no traffic; whatever event tried to
+            # send on its behalf is void.
             return
-        delay = self.latency.sample(self._rng)
+        self.stats.record(message)
+        if self.drop_probability and self._rng.random() < self.drop_probability:
+            self.stats.record_dropped(message)
+            return
+        copies, extra_delay = 1, 0.0
+        if self._fault_injector is not None:
+            decision = self._fault_injector.decide(src, dst, self.now)
+            if not decision.deliver:
+                self.stats.record_dropped(message)
+                return
+            copies = int(decision.copies)
+            extra_delay = float(decision.extra_delay)
+            if copies > 1:
+                self.stats.duplicated += copies - 1
 
         def deliver() -> None:
             actor = self._nodes.get(dst)
-            # The destination may have left the network while in flight.
+            # The destination may have left the network while in flight —
+            # or crashed, in which case the message is lost on arrival.
+            if dst in self._down:
+                self.stats.record_dropped(message)
+                return
             if actor is not None and self.has_edge(src, dst):
                 actor.on_message(src, message)
 
-        self.queue.schedule(delay, deliver)
+        for _ in range(copies):
+            delay = self.latency.sample(self._rng) + extra_delay
+            self.queue.schedule(delay, deliver)
 
     def schedule_timer(self, node_id: int, delay: float, tag: Hashable):
-        """Schedule a timer callback on ``node_id``."""
+        """Schedule a timer callback on ``node_id`` (skipped while crashed)."""
 
         def fire() -> None:
             actor = self._nodes.get(node_id)
-            if actor is not None:
+            if actor is not None and node_id not in self._down:
                 actor.on_timer(tag)
 
         return self.queue.schedule(delay, fire)

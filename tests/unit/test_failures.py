@@ -63,6 +63,92 @@ class TestLossInjection:
             SimNetwork(adjacency, loss_probability=-0.1)
 
 
+class TestDropAccounting:
+    """The drop path is observable: counts, per-type keys, determinism."""
+
+    def _run_once(self, seed=0, n_messages=200):
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
+        net = SimNetwork(
+            adjacency,
+            latency=LatencyModel(1.0, 0.0),
+            drop_probability=0.4,
+            seed=seed,
+        )
+        nodes = [Counter(0), Counter(1)]
+        net.attach_all(nodes)
+        net.start()
+        for _ in range(n_messages):
+            nodes[0].send(1, "x")
+        net.run()
+        return net, nodes
+
+    def test_drop_actually_drops(self):
+        net, nodes = self._run_once()
+        assert net.stats.dropped > 0
+        assert nodes[1].received == 200 - net.stats.dropped
+
+    def test_dropped_counted_by_type(self):
+        net, _ = self._run_once()
+        # sends and drops are both visible, per message class
+        assert net.stats.by_type["str"] == 200
+        assert net.stats.by_type["dropped:str"] == net.stats.dropped
+
+    def test_no_drop_key_without_drops(self):
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
+        net = SimNetwork(adjacency, latency=LatencyModel(1.0, 0.0), seed=0)
+        nodes = [Counter(0), Counter(1)]
+        net.attach_all(nodes)
+        net.start()
+        nodes[0].send(1, "x")
+        net.run()
+        assert "dropped:str" not in net.stats.by_type
+
+    def test_same_seed_identical_stats(self):
+        first, _ = self._run_once(seed=7)
+        second, _ = self._run_once(seed=7)
+        assert first.stats == second.stats
+        third, _ = self._run_once(seed=8)
+        assert third.stats != first.stats
+
+    def test_drop_probability_is_loss_probability(self):
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
+        net = SimNetwork(adjacency, drop_probability=0.25)
+        assert net.loss_probability == 0.25
+        legacy = SimNetwork(adjacency, loss_probability=0.25)
+        assert legacy.drop_probability == 0.25
+
+
+class TestChurnSendRules:
+    """Sends are only legal along live edges — churn closes them."""
+
+    def _network(self):
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(3))
+        net = SimNetwork(adjacency, latency=LatencyModel(1.0, 0.0), seed=0)
+        nodes = [Counter(i) for i in range(3)]
+        net.attach_all(nodes)
+        net.start()
+        return net, nodes
+
+    def test_send_along_removed_edge_rejected(self):
+        net, nodes = self._network()
+        net.remove_edge(0, 1)
+        with pytest.raises(ValueError, match="no edge"):
+            nodes[0].send(1, "x")
+
+    def test_send_to_removed_node_rejected(self):
+        net, nodes = self._network()
+        net.remove_node(1)
+        with pytest.raises(ValueError, match="no edge"):
+            nodes[0].send(1, "x")
+
+    def test_in_flight_message_to_cut_edge_not_delivered(self):
+        net, nodes = self._network()
+        nodes[0].send(1, "x")  # in flight (latency 1.0)
+        net.remove_edge(0, 1)
+        net.run()
+        assert nodes[1].received == 0
+
+
 class TestDiffusionUnderLoss:
     def test_periodic_mode_converges_despite_loss(self):
         """Periodic gossip retransmits, so loss only delays convergence."""

@@ -1,0 +1,630 @@
+"""Fault-injection subsystem: plans, injectors, and the resilient walk.
+
+The equivalence classes pinned here are the contract of ISSUE 7: with no
+faults injected the engine and runtime behave bit-identically to the
+fault-free implementation, and with faults the walk degrades gracefully
+instead of raising.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.engine import ResilienceConfig, WalkConfig, run_query
+from repro.core.forwarding import EmbeddingGuidedPolicy, PrecomputedScorePolicy
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.retrieval.vector_store import DocumentStore
+from repro.runtime.faults import (
+    CrashWindow,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    choose_live_starts,
+)
+from repro.runtime.network import LatencyModel, SimNetwork
+from repro.runtime.node import SimNode
+
+
+def make_store(dim, **docs):
+    store = DocumentStore(dim)
+    for doc_id, vector in docs.items():
+        store.add(doc_id, np.asarray(vector, dtype=float))
+    return store
+
+
+@pytest.fixture
+def path_adjacency():
+    return CompressedAdjacency.from_networkx(nx.path_graph(6))
+
+
+# --------------------------------------------------------------------- plans
+
+
+class TestCrashWindow:
+    def test_covers_half_open_interval(self):
+        window = CrashWindow(3, start=2.0, end=5.0)
+        assert not window.covers(1.9)
+        assert window.covers(2.0)
+        assert window.covers(4.999)
+        assert not window.covers(5.0)
+
+    def test_permanent_crash_by_default(self):
+        assert CrashWindow(0).covers(1e12)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            CrashWindow(0, start=3.0, end=3.0)
+        with pytest.raises(ValueError):
+            CrashWindow(0, start=3.0, end=1.0)
+        with pytest.raises(ValueError):
+            CrashWindow(0, start=-1.0)
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(4, drop_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(4, duplicate_probability=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(4, extra_delay=-2.0)
+        with pytest.raises(ValueError):
+            FaultPlan(4, crashes=(CrashWindow(9),))
+        with pytest.raises(ValueError):
+            FaultPlan(4, zombies=frozenset({4}))
+
+    def test_crashed_at_and_live_nodes(self):
+        plan = FaultPlan(
+            5, crashes=(CrashWindow(1, 0.0, 10.0), CrashWindow(3, 5.0))
+        )
+        assert plan.crashed_at(1, 0.0)
+        assert not plan.crashed_at(1, 10.0)
+        assert not plan.crashed_at(3, 4.9)
+        assert plan.crashed_at(3, 1e9)
+        assert plan.crashed_nodes(6.0) == frozenset({1, 3})
+        assert plan.live_nodes(6.0) == [0, 2, 4]
+        assert plan.live_nodes(20.0) == [0, 1, 2, 4]
+
+    def test_trivial_plan(self):
+        assert FaultPlan(10).is_trivial
+        assert not FaultPlan(10, drop_probability=0.1).is_trivial
+        assert not FaultPlan(10, zombies=frozenset({0})).is_trivial
+
+    def test_generate_is_deterministic(self):
+        kwargs = dict(
+            crash_fraction=0.3,
+            drop_probability=0.05,
+            zombie_fraction=0.2,
+            seed=11,
+        )
+        assert FaultPlan.generate(100, **kwargs) == FaultPlan.generate(
+            100, **kwargs
+        )
+        other = FaultPlan.generate(100, **{**kwargs, "seed": 12})
+        assert other != FaultPlan.generate(100, **kwargs)
+
+    def test_generate_counts_and_disjointness(self):
+        plan = FaultPlan.generate(
+            200, crash_fraction=0.25, zombie_fraction=0.1, seed=3
+        )
+        crashed = {w.node for w in plan.crashes}
+        assert len(crashed) == 50
+        # zombies are sampled from the remaining live nodes
+        assert len(plan.zombies) == round(0.1 * 150)
+        assert not crashed & plan.zombies
+
+    def test_generate_respects_protect(self):
+        plan = FaultPlan.generate(
+            50, crash_fraction=0.5, zombie_fraction=0.5, protect=[0, 1], seed=9
+        )
+        crashed = {w.node for w in plan.crashes}
+        assert not {0, 1} & crashed
+        assert not {0, 1} & plan.zombies
+
+    def test_generate_recovery_window(self):
+        plan = FaultPlan.generate(
+            20, crash_fraction=0.5, crash_start=3.0, recover_after=4.0, seed=0
+        )
+        for window in plan.crashes:
+            assert (window.start, window.end) == (3.0, 7.0)
+        assert not plan.crashed_nodes(7.0)
+
+
+# ----------------------------------------------------------------- injectors
+
+
+class TestFaultInjector:
+    def test_trivial_plan_always_delivers(self):
+        injector = FaultInjector(FaultPlan(4))
+        for _ in range(100):
+            assert injector.deliver(0, 1)
+        assert injector.decide(0, 1, 0.0) == FaultDecision()
+        assert injector.dropped == 0
+
+    def test_drop_lottery_counts(self):
+        injector = FaultInjector(FaultPlan(4, drop_probability=0.5, seed=0))
+        delivered = sum(injector.deliver(0, 1) for _ in range(400))
+        assert 120 < delivered < 280
+        assert injector.dropped == 400 - delivered
+
+    def test_decide_duplicates_and_delays(self):
+        injector = FaultInjector(
+            FaultPlan(4, duplicate_probability=0.5, extra_delay=2.0, seed=1)
+        )
+        decisions = [injector.decide(0, 1, 0.0) for _ in range(200)]
+        assert injector.duplicated == sum(d.copies == 2 for d in decisions)
+        assert 40 < injector.duplicated < 160
+        assert all(0.0 <= d.extra_delay < 2.0 for d in decisions)
+        assert any(d.extra_delay > 0.0 for d in decisions)
+
+    def test_reset_replays_exactly(self):
+        injector = FaultInjector(FaultPlan(4, drop_probability=0.3, seed=7))
+        first = [injector.deliver(0, 1) for _ in range(50)]
+        injector.reset()
+        assert injector.crash_detections == 0
+        assert [injector.deliver(0, 1) for _ in range(50)] == first
+
+    def test_pick_live_start_avoids_crashed(self):
+        plan = FaultPlan(4, crashes=(CrashWindow(0), CrashWindow(2)))
+        injector = FaultInjector(plan)
+        rng = np.random.default_rng(0)
+        picks = {injector.pick_live_start(rng) for _ in range(40)}
+        assert picks <= {1, 3}
+
+    def test_choose_live_starts(self):
+        plan = FaultPlan(6, crashes=(CrashWindow(5),))
+        starts = choose_live_starts(plan, 64, np.random.default_rng(2))
+        assert starts.shape == (64,)
+        assert 5 not in set(starts.tolist())
+        dead = FaultPlan(2, crashes=(CrashWindow(0), CrashWindow(1)))
+        with pytest.raises(ValueError, match="no live start"):
+            choose_live_starts(dead, 4, np.random.default_rng(0))
+
+
+# ------------------------------------------------------ network integration
+
+
+class _Counter(SimNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = 0
+
+    def on_message(self, src, message):
+        self.received += 1
+
+
+def _counter_network(n=2, **kwargs):
+    adjacency = CompressedAdjacency.from_networkx(nx.path_graph(n))
+    net = SimNetwork(
+        adjacency, latency=LatencyModel(1.0, 0.0), seed=0, **kwargs
+    )
+    nodes = [_Counter(i) for i in range(n)]
+    net.attach_all(nodes)
+    net.start()
+    return net, nodes
+
+
+class TestNetworkFaultIntegration:
+    def test_install_schedules_crash_and_recovery(self):
+        net, nodes = _counter_network(3)
+        plan = FaultPlan(3, crashes=(CrashWindow(1, start=5.0, end=10.0),))
+        FaultInjector(plan).install(net)
+        assert not net.is_down(1)
+        net.run(until=6.0)
+        assert net.is_down(1)
+        net.run(until=11.0)
+        assert not net.is_down(1)
+
+    def test_open_window_fails_immediately(self):
+        net, _ = _counter_network(3)
+        FaultInjector(FaultPlan(3, crashes=(CrashWindow(2),))).install(net)
+        assert net.is_down(2)
+        assert net.down_nodes == frozenset({2})
+
+    def test_crashed_destination_loses_messages(self):
+        net, nodes = _counter_network(2)
+        FaultInjector(FaultPlan(2, crashes=(CrashWindow(1),))).install(net)
+        for _ in range(10):
+            nodes[0].send(1, "x")
+        net.run()
+        assert nodes[1].received == 0
+        assert net.stats.dropped == 10
+        assert net.stats.by_type["dropped:str"] == 10
+
+    def test_crashed_source_sends_nothing(self):
+        net, nodes = _counter_network(2)
+        FaultInjector(FaultPlan(2, crashes=(CrashWindow(0),))).install(net)
+        nodes[0].send(1, "x")
+        net.run()
+        # A crashed process produces no traffic at all — not even a send.
+        assert net.stats.messages == 0
+        assert nodes[1].received == 0
+
+    def test_injector_drops_counted_in_stats(self):
+        net, nodes = _counter_network(2)
+        FaultInjector(FaultPlan(2, drop_probability=0.5, seed=4)).install(net)
+        for _ in range(200):
+            nodes[0].send(1, "x")
+        net.run()
+        assert nodes[1].received == 200 - net.stats.dropped
+        assert 40 < net.stats.dropped < 160
+        assert net.stats.by_type["dropped:str"] == net.stats.dropped
+
+    def test_duplication_delivers_extra_copies(self):
+        net, nodes = _counter_network(2)
+        FaultInjector(
+            FaultPlan(2, duplicate_probability=0.5, seed=4)
+        ).install(net)
+        for _ in range(100):
+            nodes[0].send(1, "x")
+        net.run()
+        assert net.stats.duplicated > 0
+        assert nodes[1].received == 100 + net.stats.duplicated
+
+    def test_extra_delay_postpones_delivery(self):
+        net, nodes = _counter_network(2)
+        FaultInjector(FaultPlan(2, extra_delay=50.0, seed=4)).install(net)
+        for _ in range(20):
+            nodes[0].send(1, "x")
+        net.run(until=1.0)  # base latency alone would have delivered all
+        assert nodes[1].received < 20
+        net.run()
+        assert nodes[1].received == 20
+
+    def test_recovered_node_receives_again(self):
+        net, nodes = _counter_network(2)
+        plan = FaultPlan(2, crashes=(CrashWindow(1, 0.0, 5.0),))
+        FaultInjector(plan).install(net)
+        nodes[0].send(1, "early")  # arrives at t=1 while 1 is down
+        net.run(until=6.0)
+        assert nodes[1].received == 0
+        nodes[0].send(1, "late")  # arrives at t=7, node recovered
+        net.run()
+        assert nodes[1].received == 1
+
+
+# -------------------------------------------------- engine: equivalence
+
+
+def _walk_signature(result):
+    return (
+        result.visits,
+        result.messages,
+        [(d.doc_id, d.score, d.node) for d in result.tracker.items()],
+        result.discovered_at,
+        result.degraded,
+    )
+
+
+class TestEngineEquivalence:
+    """Fault-free resilient walk ≡ the pre-resilience protocol, bit for bit."""
+
+    @pytest.mark.parametrize("fanout", [1, 2])
+    def test_trivial_injector_matches_plain_walk(
+        self, small_world_adjacency, fanout
+    ):
+        rng = np.random.default_rng(0)
+        n = small_world_adjacency.n_nodes
+        embeddings = rng.standard_normal((n, 8))
+        stores = {
+            17: make_store(8, gold=embeddings[17] / np.linalg.norm(embeddings[17]))
+        }
+        policy = EmbeddingGuidedPolicy(embeddings)
+        query = embeddings[17] / np.linalg.norm(embeddings[17])
+        config = WalkConfig(ttl=20, fanout=fanout, k=3)
+        plain = run_query(
+            small_world_adjacency, stores, policy, query, 3, config
+        )
+        resilient = run_query(
+            small_world_adjacency,
+            stores,
+            policy,
+            query,
+            3,
+            config,
+            faults=FaultInjector(FaultPlan(n)),
+            resilience=ResilienceConfig(),
+        )
+        assert _walk_signature(resilient) == _walk_signature(plain)
+        assert resilient.retries == 0
+        assert resilient.rerouted == 0
+        assert resilient.walkers_lost == 0
+
+    def test_resilience_config_without_faults_is_inert(self, path_adjacency):
+        scores = np.arange(6, dtype=float)
+        plain = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(2),
+            0,
+            WalkConfig(ttl=5),
+        )
+        with_config = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(2),
+            0,
+            WalkConfig(ttl=5),
+            resilience=ResilienceConfig(max_retries=5, retry_backoff=2),
+        )
+        assert _walk_signature(with_config) == _walk_signature(plain)
+
+    def test_redundancy_without_faults_equals_fanout(self, path_adjacency):
+        scores = np.arange(6, dtype=float)
+        via_fanout = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(2),
+            2,
+            WalkConfig(ttl=4, fanout=2),
+        )
+        via_redundancy = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(2),
+            2,
+            WalkConfig(ttl=4, fanout=1),
+            resilience=ResilienceConfig(redundancy=2),
+        )
+        assert _walk_signature(via_redundancy) == _walk_signature(via_fanout)
+
+
+# -------------------------------------------------- engine: under faults
+
+
+class TestResilientWalk:
+    def test_crashed_source_degrades(self, path_adjacency):
+        faults = FaultInjector(FaultPlan(6, crashes=(CrashWindow(2),)))
+        result = run_query(
+            path_adjacency,
+            {2: make_store(2, doc=[1.0, 0.0])},
+            PrecomputedScorePolicy(np.arange(6, dtype=float)),
+            np.array([1.0, 0.0]),
+            start_node=2,
+            config=WalkConfig(ttl=5),
+            faults=faults,
+        )
+        assert result.degraded
+        assert result.visits == []
+        assert result.results == []
+        assert result.walkers_lost == 1
+
+    def test_reroutes_around_dead_peer(self):
+        """On a star, the best-scoring leaf is dead; the walker detects the
+        failure and reroutes to the next-best live leaf."""
+        adjacency = CompressedAdjacency.from_networkx(nx.star_graph(3))
+        scores = np.array([0.0, 5.0, 1.0, 2.0])  # best leaf is 1
+        faults = FaultInjector(FaultPlan(4, crashes=(CrashWindow(1),)))
+        result = run_query(
+            adjacency,
+            {3: make_store(2, doc=[1.0, 0.0])},
+            PrecomputedScorePolicy(scores),
+            np.array([1.0, 0.0]),
+            start_node=0,
+            config=WalkConfig(ttl=4),
+            faults=faults,
+        )
+        # hop 1 goes to 3 (next best after dead 1), not 1
+        assert result.visits[1] == (1, 3)
+        assert result.rerouted >= 1
+        assert faults.crash_detections >= 1
+        assert result.found("doc")
+        assert not result.degraded
+
+    def test_retry_backoff_burns_ttl(self):
+        """Each failed attempt costs retry_backoff TTL, shortening the walk."""
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(8))
+        scores = np.arange(8, dtype=float)
+        plan = FaultPlan(8, drop_probability=0.6, seed=5)
+        faulty = run_query(
+            adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(2),
+            0,
+            WalkConfig(ttl=8),
+            faults=FaultInjector(plan),
+            resilience=ResilienceConfig(max_retries=10, retry_backoff=1),
+        )
+        clean = run_query(
+            adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(2),
+            0,
+            WalkConfig(ttl=8),
+        )
+        assert faulty.retries > 0
+        assert len(faulty.visits) < len(clean.visits)
+        # every attempt (delivered or dropped) is a message on the wire
+        assert faulty.messages == (len(faulty.visits) - 1) + faulty.retries
+
+    def test_exhausted_retries_degrade_with_partial_results(self):
+        """All neighbors dead: the walker dies but local results survive."""
+        adjacency = CompressedAdjacency.from_networkx(nx.star_graph(3))
+        faults = FaultInjector(
+            FaultPlan(
+                4, crashes=(CrashWindow(1), CrashWindow(2), CrashWindow(3))
+            )
+        )
+        result = run_query(
+            adjacency,
+            {0: make_store(2, local=[0.8, 0.0])},
+            PrecomputedScorePolicy(np.arange(4, dtype=float)),
+            np.array([1.0, 0.0]),
+            start_node=0,
+            config=WalkConfig(ttl=5),
+            faults=faults,
+            resilience=ResilienceConfig(max_retries=1),
+        )
+        assert result.degraded
+        assert result.walkers_lost == 1
+        assert result.found("local")  # best-so-far, not an exception
+        assert result.path == [0]
+
+    def test_zombie_routes_but_does_not_serve(self):
+        """A zombie forwards the walk but its stale store yields nothing."""
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(3))
+        scores = np.array([0.0, 1.0, 2.0])
+        stores = {
+            1: make_store(2, stale=[1.0, 0.0]),
+            2: make_store(2, fresh=[0.9, 0.0]),
+        }
+        faults = FaultInjector(FaultPlan(3, zombies=frozenset({1})))
+        result = run_query(
+            adjacency,
+            stores,
+            PrecomputedScorePolicy(scores),
+            np.array([1.0, 0.0]),
+            start_node=0,
+            config=WalkConfig(ttl=3, k=2),
+            faults=faults,
+        )
+        assert result.path == [0, 1, 2]  # the walk passes through the zombie
+        assert result.zombie_visits == 1
+        assert not result.found("stale")
+        assert result.found("fresh")
+
+    def test_redundant_walkers_beat_single_under_crashes(
+        self, small_world_adjacency
+    ):
+        """k-redundant walking recovers coverage a lone walker loses."""
+        n = small_world_adjacency.n_nodes
+        rng = np.random.default_rng(1)
+        scores = rng.standard_normal(n)
+        plan = FaultPlan.generate(
+            n, crash_fraction=0.2, protect=[3], seed=13
+        )
+        single = run_query(
+            small_world_adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(4),
+            3,
+            WalkConfig(ttl=15),
+            faults=FaultInjector(plan),
+            resilience=ResilienceConfig(redundancy=1),
+        )
+        redundant = run_query(
+            small_world_adjacency,
+            {},
+            PrecomputedScorePolicy(scores),
+            np.ones(4),
+            3,
+            WalkConfig(ttl=15),
+            faults=FaultInjector(plan),
+            resilience=ResilienceConfig(redundancy=3),
+        )
+        assert (
+            redundant.unique_nodes_visited >= single.unique_nodes_visited
+        )
+        crashed = {w.node for w in plan.crashes}
+        assert not crashed & {node for _, node in redundant.visits}
+
+    def test_search_facade_threads_faults(self):
+        """DiffusionSearchNetwork.search honors injector + resilience."""
+        from repro.core.search import DiffusionSearchNetwork
+
+        net = DiffusionSearchNetwork(nx.cycle_graph(8), dim=3, alpha=0.5)
+        net.place_document("gold", np.array([1.0, 0.0, 0.0]), node=4)
+        net.diffuse()
+        query = np.array([1.0, 0.0, 0.0])
+        plain = net.search(query, start_node=0, ttl=8)
+        trivial = net.search(
+            query,
+            start_node=0,
+            ttl=8,
+            faults=FaultInjector(FaultPlan(8)),
+            resilience=ResilienceConfig(),
+        )
+        assert _walk_signature(trivial) == _walk_signature(plain)
+        crashed = net.search(
+            query,
+            start_node=0,
+            ttl=8,
+            faults=FaultInjector(FaultPlan(8, crashes=(CrashWindow(0),))),
+        )
+        assert crashed.degraded
+
+    def test_deterministic_replay(self, small_world_adjacency):
+        """Same plan seed, same walk — faults are exactly reproducible."""
+        n = small_world_adjacency.n_nodes
+        plan = FaultPlan.generate(
+            n, crash_fraction=0.15, drop_probability=0.1, protect=[3], seed=2
+        )
+        runs = []
+        for _ in range(2):
+            result = run_query(
+                small_world_adjacency,
+                {},
+                PrecomputedScorePolicy(np.arange(n, dtype=float)),
+                np.ones(4),
+                3,
+                WalkConfig(ttl=12),
+                faults=FaultInjector(plan),
+                resilience=ResilienceConfig(redundancy=2),
+            )
+            runs.append(
+                (_walk_signature(result), result.retries, result.rerouted)
+            )
+        assert runs[0] == runs[1]
+
+
+class TestRuntimeSearchUnderFaults:
+    """search_on_runtime: the event-driven walk degrades gracefully too."""
+
+    def _network(self):
+        from repro.core.search import DiffusionSearchNetwork
+
+        net = DiffusionSearchNetwork(nx.path_graph(6), dim=3, alpha=0.5)
+        net.place_document("near", np.array([1.0, 0.0, 0.0]), node=2)
+        net.place_document("far", np.array([0.9, 0.1, 0.0]), node=5)
+        net.diffuse()
+        return net, np.array([1.0, 0.0, 0.0])
+
+    def test_fault_free_injector_matches_plain(self):
+        net, query = self._network()
+        plain = net.search_on_runtime(query, start_node=0, ttl=6, k=2, seed=0)
+        trivial = net.search_on_runtime(
+            query,
+            start_node=0,
+            ttl=6,
+            k=2,
+            seed=0,
+            faults=FaultInjector(FaultPlan(6)),
+        )
+        assert not trivial.degraded
+        assert [d.doc_id for d in trivial.results] == [
+            d.doc_id for d in plain.results
+        ]
+        assert trivial.visits == plain.visits
+
+    def test_crashed_start_returns_degraded_empty(self):
+        net, query = self._network()
+        faults = FaultInjector(FaultPlan(6, crashes=(CrashWindow(0),)))
+        result = net.search_on_runtime(
+            query, start_node=0, ttl=6, faults=faults
+        )
+        assert result.degraded
+        assert result.results == []
+        assert result.walkers_lost == 1
+
+    def test_walk_dying_midway_returns_partials(self):
+        """A crashed peer swallows the query; the source's best-so-far
+        is rebuilt from the trace instead of waiting forever."""
+        net, query = self._network()
+        # Node 4 is down: the walk 0-1-2-3 reaches node 3, whose forward
+        # to 4 is lost, and the backtracking response chain never fires.
+        faults = FaultInjector(FaultPlan(6, crashes=(CrashWindow(4),)))
+        result = net.search_on_runtime(
+            query, start_node=0, ttl=6, k=2, faults=faults
+        )
+        assert result.degraded
+        assert result.found("near")  # node 2 was provably reached
+        assert not result.found("far")  # node 5 lies beyond the crash

@@ -1,13 +1,24 @@
 """Tests for the sharded parallel precompute (repro.core.shard)."""
 
+import multiprocessing
+import os
+import signal
+import warnings
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
+import repro.core.shard as shard_module
 from repro.core import diffuse_embeddings, refresh_embeddings
 from repro.core.backends import ShardedDiffusionBackend, SparseDiffusionBackend
 from repro.core.search import DiffusionSearchNetwork
-from repro.core.shard import build_shard_plan
+from repro.core.shard import (
+    PoolShardExecutor,
+    SerialShardExecutor,
+    build_shard_plan,
+    make_worker_state,
+)
 from repro.graphs.generators import community_cycle_adjacency
 from repro.gsp.normalization import transition_matrix
 from repro.utils import procmem
@@ -279,6 +290,163 @@ class TestWorkerMemoryTracing:
         # Serial allocations are the parent's own; reporting them as child
         # peaks would double-count in measure_peak_memory.
         assert procmem.max_child_peak() == 0
+
+
+def _worker_state(overlay):
+    plan = build_shard_plan(overlay, 4)
+    return plan, make_worker_state(
+        plan,
+        SparseDiffusionBackend(epsilon=0.0),
+        alpha=0.5,
+        tol=1e-9,
+        max_iterations=10_000,
+        seed=None,
+    )
+
+
+def _round_tasks(plan, e0):
+    return [(i, e0[s.nodes].tocsr()) for i, s in enumerate(plan.shards)]
+
+
+def _estimates(results):
+    return [r.estimate.toarray() for r in sorted(results, key=lambda r: r.shard_id)]
+
+
+class TestSelfHealingPool:
+    """PoolShardExecutor survives dead workers and degrades gracefully."""
+
+    fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+    @pytest.mark.skipif(not fork_available, reason="requires fork")
+    def test_killed_worker_retried_bit_identical(
+        self, overlay, e0, tmp_path, monkeypatch
+    ):
+        """SIGKILL one worker mid-round: the round is resubmitted on a
+        fresh pool and the merged result matches the serial baseline."""
+        plan, state = _worker_state(overlay)
+        flag = tmp_path / "killed-once"
+        original = shard_module._execute_shard
+
+        def kill_first_task(task_state, shard_id, block):
+            try:
+                with open(flag, "x"):
+                    pass
+                os.kill(os.getpid(), signal.SIGKILL)
+            except FileExistsError:
+                pass
+            return original(task_state, shard_id, block)
+
+        # Patched before the pool forks, so workers inherit the killer.
+        monkeypatch.setattr(shard_module, "_execute_shard", kill_first_task)
+        executor = PoolShardExecutor(state, 2, task_timeout=3.0)
+        try:
+            tasks = _round_tasks(plan, e0)
+            healed = executor.run_round(tasks)
+            assert executor.retried_rounds > 0
+            assert flag.exists()
+            monkeypatch.setattr(shard_module, "_execute_shard", original)
+            baseline = SerialShardExecutor(state).run_round(tasks)
+            for got, want in zip(_estimates(healed), _estimates(baseline)):
+                assert np.array_equal(got, want)
+        finally:
+            executor.close()
+
+    @pytest.mark.skipif(not fork_available, reason="requires fork")
+    def test_exhausted_retries_fall_back_to_serial(
+        self, overlay, e0, monkeypatch
+    ):
+        """A pool that keeps failing downgrades to serial with a warning
+        instead of aborting the precompute."""
+        plan, state = _worker_state(overlay)
+        original = shard_module._execute_shard
+
+        def poolside_bomb(task_state, shard_id, block):
+            if shard_module._WORKER_STATE is not None:  # only in workers
+                raise RuntimeError("worker corrupted")
+            return original(task_state, shard_id, block)
+
+        monkeypatch.setattr(shard_module, "_execute_shard", poolside_bomb)
+        executor = PoolShardExecutor(state, 2, task_timeout=10.0, max_retries=1)
+        try:
+            tasks = _round_tasks(plan, e0)
+            with pytest.warns(UserWarning, match="falling back"):
+                results = executor.run_round(tasks)
+            assert executor.retried_rounds == 2  # budget of 1 + final attempt
+            baseline = SerialShardExecutor(state).run_round(tasks)
+            for got, want in zip(_estimates(results), _estimates(baseline)):
+                assert np.array_equal(got, want)
+            # Subsequent rounds go straight to the fallback, no new warning.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                executor.run_round(tasks)
+        finally:
+            executor.close()
+
+    def test_fork_unavailable_degrades_to_serial(
+        self, overlay, e0, monkeypatch
+    ):
+        """Platforms without fork get a working serial executor, not an error."""
+        plan, state = _worker_state(overlay)
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.warns(UserWarning, match="fork"):
+            executor = PoolShardExecutor(state, 2)
+        assert isinstance(executor, SerialShardExecutor)
+        tasks = _round_tasks(plan, e0)
+        baseline = SerialShardExecutor(state).run_round(tasks)
+        for got, want in zip(
+            _estimates(executor.run_round(tasks)), _estimates(baseline)
+        ):
+            assert np.array_equal(got, want)
+
+    def test_fork_unavailable_backend_still_diffuses(
+        self, overlay, e0, monkeypatch
+    ):
+        """ShardedDiffusionBackend(executor='pool') works without fork."""
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.warns(UserWarning, match="fork"):
+            outcome = diffuse_embeddings(
+                overlay,
+                e0,
+                alpha=0.5,
+                method=ShardedDiffusionBackend(4, executor="pool", workers=2),
+                tol=1e-9,
+            )
+        assert outcome.converged
+
+    @pytest.mark.skipif(not fork_available, reason="requires fork")
+    def test_timeout_pool_bit_identical_to_serial(self, overlay, e0):
+        """A healthy pool with a task_timeout set matches serial exactly."""
+        results = []
+        for backend in (
+            exact_backend(),
+            ShardedDiffusionBackend(
+                4,
+                inner=SparseDiffusionBackend(epsilon=0.0),
+                executor="pool",
+                workers=2,
+                task_timeout=60.0,
+            ),
+        ):
+            outcome = diffuse_embeddings(
+                overlay, e0, alpha=0.5, method=backend, tol=1e-9
+            )
+            results.append(canonical(outcome.embeddings))
+        serial, pool = results
+        assert np.array_equal(serial.indptr, pool.indptr)
+        assert np.array_equal(serial.indices, pool.indices)
+        assert np.array_equal(serial.data, pool.data)
+
+    @pytest.mark.skipif(not fork_available, reason="requires fork")
+    def test_executor_validation(self, overlay):
+        _, state = _worker_state(overlay)
+        with pytest.raises(ValueError, match="task_timeout"):
+            PoolShardExecutor(state, 2, task_timeout=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            PoolShardExecutor(state, 2, max_retries=-1)
 
 
 class TestFacadeComposition:
