@@ -176,6 +176,7 @@ def test_batch_engine_speedup():
             ]
         ),
         data={
+            "criterion": "wall_clock_speedup",
             "configuration": {
                 "label": size.label,
                 "n_nodes": adjacency.n_nodes,

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from benchmarks.conftest import emit_report
+from benchmarks.conftest import emit_report, measure_peak_memory
 from repro.core import diffuse_embeddings
 from repro.core.backends import SparseDiffusionBackend
 from repro.core.engine import ResilienceConfig, WalkConfig, run_query
@@ -189,7 +189,8 @@ def _run_cell(
 
 def test_fault_tolerance():
     size = FULL if bench_full_requested() else REDUCED
-    adjacency, stores, policy, queries, gold, _ = _build_corpus(size)
+    corpus, corpus_peak = measure_peak_memory(lambda: _build_corpus(size))
+    adjacency, stores, policy, queries, gold, _ = corpus
     kwargs = dict(ttl=size.ttl)
 
     # Fault-free reference: the plain engine, no injector on the path.
@@ -290,6 +291,8 @@ def test_fault_tolerance():
         "fault_tolerance" if size is FULL else "fault_tolerance_reduced",
         "\n".join(lines),
         data={
+            "criterion": "recall_at_10_vs_brute_force",
+            "peak_memory_bytes": corpus_peak,
             "configuration": {
                 "label": size.label,
                 "n_nodes": size.n_nodes,

@@ -1,0 +1,476 @@
+"""Benchmark: online serving under load and faults (the robustness claims).
+
+Two claims committed by this bench, both over the :class:`repro.serving`
+stack (micro-batching + admission control + deadline budgets + circuit
+breaker) driving the walk engines on a community overlay:
+
+**A — boundedness.**  Under an open-loop Poisson overload (~2x the service's
+modeled capacity), an *unbounded* ingress queue grows linearly with the run
+horizon and completion p99 grows with it; with admission control the queue
+depth is capped, p99 stays flat across horizons, and the pressure surfaces
+as an explicit shed rate instead.  A saturation sweep (offered rate vs
+p50/p95/p99/throughput/shed) maps the whole curve.
+
+**B — health-aware goodput.**  With a :class:`FaultPlan` crashing 10% of
+peers and dropping 5% of messages, the per-peer circuit breaker (which only
+*observes* walk failures) must keep goodput — mean recall@10 over all
+submitted queries — within 10% of the oracle baseline that statically
+quarantines exactly the crashed peers (fault-free routing, no breaker),
+while the naive configuration (same resilient walks, no quarantine at all)
+degrades measurably below the breaker.
+
+Latencies are simulation-clock units (the CostModel prices batch setup,
+hops, and refreshes); wall-clock and peak memory of the whole drive are
+reported alongside.  Reduced mode (default; CI smoke) runs a small overlay;
+full mode (``REPRO_BENCH_SERVING_FULL=1`` or ``REPRO_FULL=1``) the
+committed scale.  Results land in ``results/serving{,_reduced}.{txt,json}``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from benchmarks.conftest import emit_report, measure_peak_memory
+from repro.core import diffuse_embeddings
+from repro.core.backends import SparseDiffusionBackend
+from repro.core.engine import ResilienceConfig, WalkConfig
+from repro.core.forwarding import EmbeddingGuidedPolicy
+from repro.graphs.generators import community_cycle_adjacency
+from repro.retrieval.vector_store import DocumentStore
+from repro.runtime.events import EventQueue
+from repro.runtime.faults import FaultInjector, FaultPlan, choose_live_starts
+from repro.serving import (
+    AdmissionConfig,
+    BreakerConfig,
+    MicroBatchConfig,
+    PeerCircuitBreaker,
+    QueryRequest,
+    QueryService,
+    ServingConfig,
+)
+from repro.serving.service import CostModel
+from repro.simulation.workload import poisson_arrival_times
+
+BENCH_FULL_ENV = "REPRO_BENCH_SERVING_FULL"
+
+DIM = 32
+DEGREE = 8
+CROSS_FRACTION = 0.05
+ALPHA = 0.5
+RECALL_K = 10
+GRAPH_SEED = 41
+DOC_SEED = 42
+QUERY_SEED = 43
+START_SEED = 44
+PLAN_SEED = 45
+ARRIVAL_SEED = 46
+
+# Simulated-time prices (see CostModel): a full batch of B queries costs
+# batch_overhead + per_query*B to set up, then the longest walk's hops.
+COST = CostModel(batch_overhead=0.25, per_query=0.01, hop_cost=0.02)
+MAX_BATCH = 16
+MAX_WAIT = 0.5
+
+
+def bench_full_requested() -> bool:
+    flag = os.environ.get(BENCH_FULL_ENV, "").strip()
+    if flag in ("1", "true", "yes"):
+        return True
+    return os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes")
+
+
+@dataclass(frozen=True)
+class BenchSize:
+    label: str
+    n_nodes: int
+    n_communities: int
+    n_docs: int
+    n_query_pool: int  # distinct query vectors (reused round-robin)
+    ttl: int
+    horizon: float  # base run horizon (simulated time)
+    rate_fractions: tuple[float, ...]  # saturation sweep, x capacity
+    fault_rate_fraction: float  # offered load for part B
+    fault_horizon: float
+    goodput_floor: float  # breaker >= floor x oracle
+    naive_gap: float  # naive <= (1 - gap) x breaker
+
+
+REDUCED = BenchSize(
+    label="reduced (1.5k nodes, 120 docs)",
+    n_nodes=1_500,
+    n_communities=6,
+    n_docs=120,
+    n_query_pool=40,
+    ttl=40,
+    horizon=60.0,
+    rate_fractions=(0.3, 0.6, 0.9, 1.3, 2.0),
+    fault_rate_fraction=0.5,
+    fault_horizon=120.0,
+    goodput_floor=0.90,
+    naive_gap=0.02,
+)
+FULL = BenchSize(
+    label="full (8k nodes, 400 docs)",
+    n_nodes=8_000,
+    n_communities=16,
+    n_docs=400,
+    n_query_pool=120,
+    ttl=60,
+    horizon=120.0,
+    rate_fractions=(0.2, 0.4, 0.6, 0.8, 1.0, 1.3, 1.7, 2.2),
+    fault_rate_fraction=0.5,
+    fault_horizon=300.0,
+    goodput_floor=0.90,
+    naive_gap=0.02,
+)
+
+
+def modeled_capacity(size: BenchSize) -> float:
+    """Steady-state completions/time at full batches (the saturation knee)."""
+    batch_time = (
+        COST.batch_overhead
+        + COST.per_query * MAX_BATCH
+        + (size.ttl - 1) * COST.hop_cost
+    )
+    return MAX_BATCH / batch_time
+
+
+def _build_corpus(size: BenchSize):
+    """Overlay + placed documents + diffused policy + query set + gold."""
+    adjacency = community_cycle_adjacency(
+        size.n_nodes,
+        DEGREE,
+        n_communities=size.n_communities,
+        cross_fraction=CROSS_FRACTION,
+        seed=GRAPH_SEED,
+    )
+    rng = np.random.default_rng(DOC_SEED)
+    doc_embeddings = rng.standard_normal((size.n_docs, DIM))
+    doc_embeddings /= np.linalg.norm(doc_embeddings, axis=1, keepdims=True)
+    doc_nodes = rng.integers(0, size.n_nodes, size=size.n_docs)
+    stores: dict[int, DocumentStore] = {}
+    e0 = np.zeros((size.n_nodes, DIM))
+    for doc_id, (node, vector) in enumerate(zip(doc_nodes, doc_embeddings)):
+        store = stores.setdefault(int(node), DocumentStore(DIM))
+        store.add(doc_id, vector)
+        e0[node] += vector
+    embeddings = diffuse_embeddings(
+        adjacency,
+        e0,
+        alpha=ALPHA,
+        method=SparseDiffusionBackend(epsilon=1e-4),
+        tol=1e-8,
+    ).embeddings
+    policy = EmbeddingGuidedPolicy(embeddings)
+
+    qrng = np.random.default_rng(QUERY_SEED)
+    picks = qrng.integers(0, size.n_docs, size=size.n_query_pool)
+    queries = doc_embeddings[picks] + 0.25 * qrng.standard_normal(
+        (size.n_query_pool, DIM)
+    )
+    queries /= np.linalg.norm(queries, axis=1, keepdims=True)
+    gold = [
+        set(np.argsort(-(doc_embeddings @ q))[:RECALL_K].tolist())
+        for q in queries
+    ]
+    return adjacency, stores, policy, queries, gold
+
+
+def _drive(
+    adjacency,
+    stores,
+    policy,
+    queries,
+    starts,
+    *,
+    size: BenchSize,
+    rate: float,
+    horizon: float,
+    admission: AdmissionConfig,
+    faults: FaultInjector | None = None,
+    breaker: PeerCircuitBreaker | None = None,
+    static_quarantine=None,
+    resilience: ResilienceConfig | None = None,
+    arrival_seed: int = ARRIVAL_SEED,
+):
+    """One service run under an open-loop Poisson stream; returns the service."""
+    queue = EventQueue()
+    service = QueryService(
+        adjacency,
+        stores,
+        policy,
+        config=ServingConfig(
+            walk=WalkConfig(ttl=size.ttl, k=RECALL_K),
+            batch=MicroBatchConfig(max_batch=MAX_BATCH, max_wait=MAX_WAIT),
+            admission=admission,
+            cost=COST,
+            resilience=resilience,
+        ),
+        queue=queue,
+        faults=faults,
+        breaker=breaker,
+        static_quarantine=static_quarantine,
+        seed=7,
+    )
+    arrivals = poisson_arrival_times(rate, horizon=horizon, seed=arrival_seed)
+    pool = len(queries)
+    for i, t in enumerate(arrivals):
+        request = QueryRequest(
+            query_id=i,
+            embedding=queries[i % pool],
+            start_node=int(starts[i % len(starts)]),
+        )
+        queue.schedule_at(float(t), lambda r=request: service.submit(r))
+    service.drain()
+    return service
+
+
+def _goodput(service, gold, pool: int) -> float:
+    """Mean recall@10 over ALL submitted queries (shed queries score 0)."""
+    total = 0.0
+    submitted = service.metrics.submitted
+    for response in service.responses:
+        if response.result is None:
+            continue
+        want = gold[int(response.query_id) % pool]
+        got = set(response.result.tracker.doc_ids())
+        total += len(got & want) / RECALL_K
+    return total / max(submitted, 1)
+
+
+def test_online_serving():
+    size = FULL if bench_full_requested() else REDUCED
+    capacity = modeled_capacity(size)
+    wall_start = time.perf_counter()
+
+    (corpus, peak_memory) = measure_peak_memory(lambda: _build_corpus(size))
+    adjacency, stores, policy, queries, gold = corpus
+    srng = np.random.default_rng(START_SEED)
+    all_starts = srng.integers(0, size.n_nodes, size=256)
+    bounded = AdmissionConfig(max_pending=4 * MAX_BATCH)
+    unbounded = AdmissionConfig(max_pending=None)
+
+    # ---- Part A: saturation sweep + boundedness under overload -------------
+    sweep = []
+    for fraction in size.rate_fractions:
+        rate = fraction * capacity
+        service = _drive(
+            adjacency, stores, policy, queries, all_starts,
+            size=size, rate=rate, horizon=size.horizon, admission=bounded,
+        )
+        summary = service.metrics.summary(horizon=size.horizon)
+        summary.update(rate=rate, rate_fraction=fraction)
+        sweep.append(summary)
+
+    overload_rate = 2.0 * capacity
+    overload = {}
+    for label, admission in (("bounded", bounded), ("unbounded", unbounded)):
+        for mult in (1, 2):
+            service = _drive(
+                adjacency, stores, policy, queries, all_starts,
+                size=size, rate=overload_rate,
+                horizon=size.horizon * mult, admission=admission,
+            )
+            overload[f"{label}_x{mult}"] = service.metrics.summary(
+                horizon=size.horizon * mult
+            )
+
+    # ---- Part B: goodput under faults (oracle vs breaker vs naive) ---------
+    plan = FaultPlan.generate(
+        size.n_nodes,
+        crash_fraction=0.10,
+        drop_probability=0.05,
+        seed=PLAN_SEED,
+    )
+    live_starts = choose_live_starts(
+        plan, 256, np.random.default_rng(START_SEED)
+    )
+    fault_rate = size.fault_rate_fraction * capacity
+    resilience = ResilienceConfig(max_retries=2)
+    fault_kwargs = dict(
+        size=size,
+        rate=fault_rate,
+        horizon=size.fault_horizon,
+        admission=bounded,
+        resilience=resilience,
+    )
+
+    oracle_service = _drive(
+        adjacency, stores, policy, queries, live_starts,
+        faults=FaultInjector(plan),
+        static_quarantine=plan.crashed_nodes(0.0),
+        **fault_kwargs,
+    )
+    breaker = PeerCircuitBreaker(
+        BreakerConfig(
+            # Above the per-walk retry budget (max_retries=2), so one
+            # unlucky hop can't trip a healthy peer.
+            failure_threshold=3,
+            window=size.fault_horizon,
+            cooldown=size.fault_horizon / 3,
+        )
+    )
+    breaker_service = _drive(
+        adjacency, stores, policy, queries, live_starts,
+        faults=FaultInjector(plan),
+        breaker=breaker,
+        **fault_kwargs,
+    )
+    naive_service = _drive(
+        adjacency, stores, policy, queries, live_starts,
+        faults=FaultInjector(plan),
+        **fault_kwargs,
+    )
+
+    pool = len(queries)
+    goodputs = {
+        "oracle_static_quarantine": _goodput(oracle_service, gold, pool),
+        "breaker_learned": _goodput(breaker_service, gold, pool),
+        "naive_no_quarantine": _goodput(naive_service, gold, pool),
+    }
+    breaker_ratio = goodputs["breaker_learned"] / goodputs["oracle_static_quarantine"]
+    naive_ratio = goodputs["naive_no_quarantine"] / goodputs["breaker_learned"]
+    wall_seconds = time.perf_counter() - wall_start
+
+    # ---- report ------------------------------------------------------------
+    lines = [
+        "Online serving under load and faults",
+        f"configuration: {size.label}; dim={DIM}, degree~{DEGREE}, "
+        f"alpha={ALPHA}, ttl={size.ttl}, recall@{RECALL_K}",
+        f"cost model: batch_overhead={COST.batch_overhead}, "
+        f"per_query={COST.per_query}, hop_cost={COST.hop_cost}; "
+        f"max_batch={MAX_BATCH}, max_wait={MAX_WAIT}",
+        f"modeled capacity: {capacity:.2f} queries/time-unit",
+        "",
+        "saturation sweep (bounded queue, horizon "
+        f"{size.horizon:.0f}):",
+        "  rate(xcap)   offered |   p50    p95    p99 | thruput  shed  "
+        "mean_batch",
+    ]
+    for cell in sweep:
+        lines.append(
+            f"  {cell['rate_fraction']:9.2f} {cell['rate']:9.2f} | "
+            f"{cell['p50']:5.2f} {cell['p95']:6.2f} {cell['p99']:6.2f} | "
+            f"{cell['throughput']:7.2f} {cell['shed_rate']:5.2f} "
+            f"{cell['mean_batch_size']:9.2f}"
+        )
+    lines += [
+        "",
+        f"overload boundedness (rate 2.0 x capacity = {overload_rate:.2f}):",
+        "  config        horizon |    p99  thruput  shed_rate  completed",
+    ]
+    for key in ("bounded_x1", "bounded_x2", "unbounded_x1", "unbounded_x2"):
+        cell = overload[key]
+        label, mult = key.rsplit("_x", 1)
+        lines.append(
+            f"  {label:<12} {float(mult) * size.horizon:7.0f} | "
+            f"{cell['p99']:6.2f} {cell['throughput']:8.2f} "
+            f"{cell['shed_rate']:10.2f} {cell['completed']:10d}"
+        )
+    lines += [
+        "",
+        f"faults (crash 10%, drop 5%; rate {fault_rate:.2f} = "
+        f"{size.fault_rate_fraction:.1f} x capacity, horizon "
+        f"{size.fault_horizon:.0f}):",
+        f"  oracle (static quarantine): goodput "
+        f"{goodputs['oracle_static_quarantine']:.4f}",
+        f"  breaker (learned):          goodput "
+        f"{goodputs['breaker_learned']:.4f} "
+        f"(ratio to oracle {breaker_ratio:.3f}, floor {size.goodput_floor}; "
+        f"trips={breaker.trips}, quarantined="
+        f"{len(breaker.quarantined(size.fault_horizon))})",
+        f"  naive (no quarantine):      goodput "
+        f"{goodputs['naive_no_quarantine']:.4f} "
+        f"(ratio to breaker {naive_ratio:.3f})",
+        "",
+        f"wall time {wall_seconds:.1f}s; peak memory "
+        f"{peak_memory / 1e6:.1f} MB (corpus build + diffusion)",
+    ]
+
+    emit_report(
+        "serving" if size is FULL else "serving_reduced",
+        "\n".join(lines),
+        data={
+            "configuration": {
+                "label": size.label,
+                "n_nodes": size.n_nodes,
+                "n_communities": size.n_communities,
+                "n_docs": size.n_docs,
+                "n_query_pool": size.n_query_pool,
+                "dim": DIM,
+                "degree": DEGREE,
+                "alpha": ALPHA,
+                "ttl": size.ttl,
+                "recall_k": RECALL_K,
+                "max_batch": MAX_BATCH,
+                "max_wait": MAX_WAIT,
+                "cost_model": {
+                    "batch_overhead": COST.batch_overhead,
+                    "per_query": COST.per_query,
+                    "hop_cost": COST.hop_cost,
+                },
+                "modeled_capacity": capacity,
+                "plan_seed": PLAN_SEED,
+            },
+            "criterion": "simulated_clock_latency_recall_goodput",
+            "peak_memory_bytes": peak_memory,
+            "wall_seconds": wall_seconds,
+            "saturation_sweep": sweep,
+            "overload": overload,
+            "faults": {
+                "crash_fraction": 0.10,
+                "drop_probability": 0.05,
+                "rate": fault_rate,
+                "horizon": size.fault_horizon,
+                "goodput": goodputs,
+                "breaker_ratio_to_oracle": breaker_ratio,
+                "naive_ratio_to_breaker": naive_ratio,
+                "breaker_trips": breaker.trips,
+                "breaker_quarantined": len(
+                    breaker.quarantined(size.fault_horizon)
+                ),
+                "oracle": oracle_service.metrics.summary(
+                    horizon=size.fault_horizon
+                ),
+                "breaker": breaker_service.metrics.summary(
+                    horizon=size.fault_horizon
+                ),
+                "naive": naive_service.metrics.summary(
+                    horizon=size.fault_horizon
+                ),
+            },
+        },
+    )
+
+    # ---- acceptance --------------------------------------------------------
+    # A. Admission control bounds the tail; an unbounded queue does not.
+    b1, b2 = overload["bounded_x1"], overload["bounded_x2"]
+    u1, u2 = overload["unbounded_x1"], overload["unbounded_x2"]
+    assert u2["p99"] > 1.4 * u1["p99"], (
+        f"unbounded queue p99 did not grow with horizon "
+        f"({u1['p99']:.2f} -> {u2['p99']:.2f}): overload too weak"
+    )
+    assert b2["p99"] < 1.25 * b1["p99"], (
+        f"bounded p99 drifted with horizon ({b1['p99']:.2f} -> "
+        f"{b2['p99']:.2f}): admission control not engaging"
+    )
+    assert b2["p99"] < u2["p99"], "bounded p99 should beat unbounded under overload"
+    assert b2["shed_rate"] > 0.1, "overload must surface as explicit shedding"
+    # Every submitted query resolved explicitly, in every run.
+    for cell in list(overload.values()) + sweep:
+        assert cell["ok"] + cell["degraded"] + cell["rejected"] == cell["submitted"]
+
+    # B. The learned breaker stays within 10% of oracle routing; naive pays.
+    assert breaker.trips > 0, "breaker never tripped under 10% crashed peers"
+    assert breaker_ratio >= size.goodput_floor, (
+        f"breaker goodput only {breaker_ratio:.3f} of oracle "
+        f"(floor {size.goodput_floor})"
+    )
+    assert naive_ratio <= 1.0 - size.naive_gap, (
+        f"naive config should degrade measurably vs the breaker "
+        f"(got ratio {naive_ratio:.3f})"
+    )

@@ -233,6 +233,7 @@ def test_sparse_scale():
         "sparse_scale" if size is FULL else "sparse_scale_reduced",
         "\n".join(lines),
         data={
+            "criterion": "wall_clock_speedup_and_ranking_overlap",
             "configuration": {
                 "label": size.label,
                 "dense_nodes": size.dense_nodes,

@@ -62,8 +62,22 @@ from repro.retrieval.topk import ScoredDocument, TopKTracker
 from repro.retrieval.vector_store import DocumentStore
 from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.gossip import AsyncPPRDiffusion
+from repro.serving import (
+    AdmissionConfig,
+    BreakerConfig,
+    Outcome,
+    PeerCircuitBreaker,
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    ServingConfig,
+)
 from repro.simulation.scenario import AccuracyScenario, HopCountScenario
-from repro.simulation.workload import RetrievalWorkload, build_workload
+from repro.simulation.workload import (
+    RetrievalWorkload,
+    build_workload,
+    poisson_arrival_times,
+)
 from repro.simulation.runner import (
     run_accuracy_experiment,
     run_hop_count_experiment,
@@ -112,6 +126,15 @@ __all__ = [
     "HopCountScenario",
     "RetrievalWorkload",
     "build_workload",
+    "poisson_arrival_times",
+    "QueryService",
+    "ServingConfig",
+    "QueryRequest",
+    "QueryResponse",
+    "Outcome",
+    "AdmissionConfig",
+    "BreakerConfig",
+    "PeerCircuitBreaker",
     "run_accuracy_experiment",
     "run_hop_count_experiment",
     "__version__",

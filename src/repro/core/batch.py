@@ -215,6 +215,7 @@ def run_queries(
     *,
     query_ids: Hashable | Sequence[Hashable] | None = None,
     seed: RngLike = None,
+    hop_budgets: Sequence[int] | np.ndarray | None = None,
 ) -> list[SearchResult]:
     """Execute one Fig. 1 walk per start node, all in lockstep.
 
@@ -232,6 +233,14 @@ def run_queries(
     seed:
         Spawned into ``B`` independent per-walk generators (stochastic
         policies only; deterministic policies never draw from them).
+    hop_budgets:
+        Per-query deadline budgets in hops (``B`` positive ints, or ``None``
+        for none): walk ``q``'s horizon is capped at
+        ``min(config.ttl, hop_budgets[q])`` visits.  A walk whose cap
+        actually bites returns its best-so-far partial with
+        ``result.degraded`` and ``result.deadline_hit`` set — exactly the
+        scalar engine's ``hop_budget`` semantics, per query.  ``None``
+        leaves the batch bit-identical to the unbudgeted engine.
 
     Returns
     -------
@@ -263,6 +272,25 @@ def run_queries(
     policy_list = _coerce_policies(policies, batch)
     ids = _coerce_query_ids(query_ids, batch)
 
+    budgets: np.ndarray | None = None
+    if hop_budgets is not None:
+        budgets = np.asarray(hop_budgets)
+        if budgets.dtype.kind not in "iu":
+            raise TypeError(
+                f"hop_budgets must be integers, got dtype {budgets.dtype}"
+            )
+        budgets = budgets.astype(np.int64)
+        if budgets.shape != (batch,):
+            raise ValueError(
+                f"{budgets.shape[0] if budgets.ndim == 1 else budgets.shape} "
+                f"hop budgets for a batch of {batch} queries"
+            )
+        if np.any(budgets < 1):
+            raise ValueError(
+                "hop_budgets must be >= 1 (a query with no budget left "
+                "should be shed before reaching the engine)"
+            )
+
     # Bound the visited-edge matrix: oversized batches split into chunks
     # (per-walk results are independent; each chunk gets an independent
     # child seed, preserving the per-walk-stream contract).
@@ -284,6 +312,7 @@ def run_queries(
                     config,
                     query_ids=ids[lo:hi],
                     seed=chunk_rng,
+                    hop_budgets=None if budgets is None else budgets[lo:hi],
                 )
             )
         return results
@@ -341,6 +370,20 @@ def run_queries(
 
         if config.ttl - hop - 1 <= 0:  # Fig. 1 steps 3/4b
             break
+        if budgets is not None:
+            # Per-query deadline horizon: retire walkers whose budget is
+            # spent.  The global TTL check above already passed, so every
+            # entry retired here was cut by its budget, not the TTL — its
+            # query's results are best-so-far partials.
+            alive = budgets[cur_q] - hop - 1 > 0
+            if not alive.all():
+                for q in np.unique(cur_q[~alive]).tolist():
+                    results[q].degraded = True
+                    results[q].deadline_hit = True
+                cur_q = cur_q[alive]
+                cur_node = cur_node[alive]
+                if cur_q.size == 0:
+                    break
         fanout_now = config.fanout if hop == 0 else 1
         cur_deg = degrees[cur_node]
         if not isolated_nodes:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Hashable, Mapping
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping
 
 import numpy as np
 
@@ -25,7 +25,12 @@ from repro.core.forwarding import ForwardingPolicy
 from repro.graphs.adjacency import CompressedAdjacency
 from repro.retrieval.topk import ScoredDocument, TopKTracker
 from repro.retrieval.vector_store import DocumentStore
-from repro.utils import check_non_negative, check_positive, ensure_rng
+from repro.utils import (
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    ensure_rng,
+)
 from repro.utils.rng import RngLike
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -86,9 +91,13 @@ class ResilienceConfig:
     redundancy: int = 1
 
     def __post_init__(self) -> None:
-        check_non_negative(self.max_retries, "max_retries")
-        check_non_negative(self.retry_backoff, "retry_backoff")
-        check_positive(self.redundancy, "redundancy")
+        # Validated as *integers* at construction: a negative or fractional
+        # count would otherwise only surface deep in the walk loop (e.g. as
+        # a float fanout corrupting the frontier) long after the config was
+        # built.
+        check_non_negative_int(self.max_retries, "max_retries")
+        check_non_negative_int(self.retry_backoff, "retry_backoff")
+        check_positive_int(self.redundancy, "redundancy")
 
 
 @dataclass
@@ -109,6 +118,15 @@ class SearchResult:
     rerouted: int = 0  # detected-dead-peer reroutes
     walkers_lost: int = 0  # walkers that died with TTL remaining
     zombie_visits: int = 0  # visits whose local evaluation was stale/useless
+    #: Deadline outcome: True when a ``hop_budget`` cap cut the walk short of
+    #: its configured TTL (the serving layer's mid-walk timeout).  Implies
+    #: ``degraded`` — the results are best-so-far partials.
+    deadline_hit: bool = False
+    #: Per-peer failure observations from the resilient walk: peer id →
+    #: failed forwarding attempts charged to it (detected-dead reroutes plus
+    #: dropped-message retries).  Circuit breakers aggregate these across
+    #: queries to quarantine flapping peers.
+    failed_peers: dict[int, int] = field(default_factory=dict)
 
     @property
     def results(self) -> list[ScoredDocument]:
@@ -190,6 +208,8 @@ def run_query(
     seed: RngLike = None,
     faults: "FaultInjector | None" = None,
     resilience: ResilienceConfig | None = None,
+    hop_budget: int | None = None,
+    quarantine: "Iterable[int] | None" = None,
 ) -> SearchResult:
     """Execute one query from ``start_node`` per the Fig. 1 protocol.
 
@@ -221,12 +241,35 @@ def run_query(
         redundancy 1).  ``redundancy=k`` launches ``max(fanout, k)`` source
         walkers sharing one visited memory — also honored without faults,
         where it is equivalent to ``fanout=k``.
+    hop_budget:
+        Per-query deadline budget in hops: the walk's horizon is capped at
+        ``min(config.ttl, hop_budget)`` visits per walker chain.  When the
+        cap actually bites (``hop_budget < config.ttl`` and a walker
+        exhausts it), the query returns its best-so-far partial with
+        ``result.degraded`` and ``result.deadline_hit`` set — a timed-out
+        query is never a silent drop.  ``None`` (default) leaves the walk
+        byte-for-byte identical to the unbudgeted one.  The serving layer
+        derives this from ``(deadline − start) / hop_cost``.
+    quarantine:
+        Peers to route around *before* wasting any TTL on them (a circuit
+        breaker's open set).  Quarantined peers are excluded from next-hop
+        candidates outright — with faults they pre-populate the per-hop
+        unreachable set, so no detection timeout is ever paid for a peer
+        already known to flap.  ``None``/empty changes nothing.
     """
     config = config or WalkConfig()
     rng = ensure_rng(seed)
     query_embedding = np.asarray(query_embedding, dtype=np.float64)
     if not 0 <= start_node < adjacency.n_nodes:
         raise ValueError(f"start_node {start_node} out of range")
+    effective_ttl = config.ttl
+    if hop_budget is not None:
+        check_positive_int(hop_budget, "hop_budget")
+        effective_ttl = min(effective_ttl, hop_budget)
+    capped = effective_ttl < config.ttl
+    avoid: set[int] | None = (
+        set(int(p) for p in quarantine) if quarantine else None
+    )
 
     dim = query_embedding.shape[0]
     tracker = TopKTracker(config.k)
@@ -290,18 +333,25 @@ def run_query(
     if resilience is not None:
         source_fanout = max(source_fanout, resilience.redundancy)
     frontier: deque[tuple[int, int, int, int]] = deque()
-    frontier.append((int(start_node), 0, config.ttl, source_fanout))
+    frontier.append((int(start_node), 0, effective_ttl, source_fanout))
 
     if faults is None:
         # The fault-free fast path: exactly the pre-resilience protocol
-        # (equivalence tests pin this loop bit-identical to the seed).
+        # (equivalence tests pin this loop bit-identical to the seed when
+        # no hop budget or quarantine narrows it).
         while frontier:
             node, hop, ttl, fanout = frontier.popleft()
             visit(node, hop)
             ttl -= 1  # Fig. 1 step 3
             if ttl <= 0:
-                continue  # Fig. 1 step 4b: discard (response backtracks)
-            for target in next_hops(node, fanout):
+                # Fig. 1 step 4b: discard (response backtracks).  When the
+                # horizon was the deadline budget rather than the real TTL,
+                # the results are best-so-far partials, flagged as such.
+                if capped:
+                    result.degraded = True
+                    result.deadline_hit = True
+                continue
+            for target in next_hops(node, fanout, exclude=avoid):
                 target = int(target)
                 remember(node, target)
                 remember(target, node)
@@ -325,15 +375,19 @@ def run_query(
         visit(node, hop, skip_store=zombie)
         ttl -= 1  # Fig. 1 step 3
         if ttl <= 0:
+            if capped:
+                result.degraded = True
+                result.deadline_hit = True
             continue
         # Forward `fanout` walkers one attempt at a time so a failure can
         # reroute to the next-best-scoring *live* neighbor.  `unreachable`
         # accumulates peers this node found dead (or already chose) at this
-        # hop; failed attempts burn TTL (timeout + backoff) and count
-        # against the per-hop retry budget.
+        # hop — seeded with the quarantine set, so peers a circuit breaker
+        # already condemned cost zero attempts; failed attempts burn TTL
+        # (timeout + backoff) and count against the per-hop retry budget.
         sent = 0
         failures = 0
-        unreachable: set[int] = set()
+        unreachable: set[int] = set(avoid) if avoid else set()
         died_of_faults = False
         while sent < fanout and ttl > 0:
             targets = next_hops(node, 1, exclude=unreachable)
@@ -348,10 +402,16 @@ def run_query(
                 result.rerouted += 1
                 faults.note_crash_detection()
                 unreachable.add(target)
+                result.failed_peers[target] = (
+                    result.failed_peers.get(target, 0) + 1
+                )
             elif not faults.deliver(node, target):
                 # Message lost in flight: retry (same peer stays eligible).
                 failures += 1
                 result.retries += 1
+                result.failed_peers[target] = (
+                    result.failed_peers.get(target, 0) + 1
+                )
             else:
                 remember(node, target)
                 remember(target, node)

@@ -427,6 +427,8 @@ class DiffusionSearchNetwork:
         seed: RngLike = None,
         faults: FaultInjector | None = None,
         resilience: ResilienceConfig | None = None,
+        hop_budget: int | None = None,
+        quarantine: Iterable[int] | None = None,
     ) -> SearchResult:
         """Execute a query with the fast walk engine.
 
@@ -435,7 +437,10 @@ class DiffusionSearchNetwork:
         rerouted around, dropped messages retried, and a query whose
         walkers all die returns best-so-far results with
         ``result.degraded`` set.  Without an injector the walk is
-        bit-identical to the fault-free engine.
+        bit-identical to the fault-free engine.  ``hop_budget`` caps the
+        walk horizon (deadline serving; a truncated walk returns partials
+        with ``deadline_hit`` set) and ``quarantine`` routes around a
+        circuit breaker's open peers.
         """
         config = WalkConfig(ttl=ttl, fanout=fanout, k=k)
         return run_query(
@@ -449,6 +454,8 @@ class DiffusionSearchNetwork:
             seed=seed,
             faults=faults,
             resilience=resilience,
+            hop_budget=hop_budget,
+            quarantine=quarantine,
         )
 
     def search_on_runtime(

@@ -24,10 +24,25 @@ class ScheduledEvent:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    dispatched: bool = field(default=False, compare=False)
 
-    def cancel(self) -> None:
-        """Mark the event so the queue skips it."""
+    def cancel(self) -> bool:
+        """Mark the event so the queue skips it.
+
+        Idempotent in both directions: cancelling twice is fine, and
+        cancelling an event that has *already dispatched* is a no-op (the
+        action ran; pretending otherwise would corrupt bookkeeping built on
+        the flag).  Holders racing a timer — e.g. a batch scheduler whose
+        flush timer may fire in the same tick that fills the batch — can
+        therefore always call ``cancel()`` and branch on the return value.
+
+        Returns ``True`` when the event will never run (freshly cancelled or
+        already cancelled), ``False`` when it already dispatched.
+        """
+        if self.dispatched:
+            return False
         self.cancelled = True
+        return True
 
 
 class EventQueue:
@@ -80,6 +95,7 @@ class EventQueue:
                 continue
             self._now = event.time
             self._dispatched += 1
+            event.dispatched = True
             event.action()
             return True
         return False

@@ -274,7 +274,7 @@ class AsyncPPRDiffusion:
         self.network = SimNetwork(
             topology,
             latency=latency,
-            loss_probability=loss_probability,
+            drop_probability=loss_probability,
             seed=rngs[0],
         )
         for node_id in range(topology.n_nodes):

@@ -7,6 +7,7 @@ it holds connections to.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable, Iterable
 
@@ -104,6 +105,17 @@ class SimNetwork:
         seed: RngLike = None,
     ) -> None:
         if loss_probability is not None:
+            warnings.warn(
+                "loss_probability is deprecated; use drop_probability",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if drop_probability not in (0.0, loss_probability):
+                raise ValueError(
+                    f"conflicting drop_probability={drop_probability} and "
+                    f"legacy loss_probability={loss_probability}; pass only "
+                    "drop_probability"
+                )
             drop_probability = loss_probability
         check_probability(drop_probability, "drop_probability")
         if drop_probability >= 1.0:

@@ -1,0 +1,37 @@
+"""Robust online query serving over the walk engines.
+
+Micro-batching, admission control, deadline budgets, per-peer circuit
+breaking, and staleness-aware refresh — see :mod:`repro.serving.service`
+for the architecture overview.
+"""
+
+from repro.serving.admission import AdmissionConfig, AdmissionController
+from repro.serving.breaker import BreakerConfig, PeerCircuitBreaker
+from repro.serving.metrics import ServiceMetrics
+from repro.serving.scheduler import MicroBatchConfig, MicroBatcher
+from repro.serving.service import (
+    CostModel,
+    Outcome,
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    ServingConfig,
+    StalenessConfig,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "BreakerConfig",
+    "CostModel",
+    "MicroBatchConfig",
+    "MicroBatcher",
+    "Outcome",
+    "PeerCircuitBreaker",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ServiceMetrics",
+    "ServingConfig",
+    "StalenessConfig",
+]

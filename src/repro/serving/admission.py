@@ -1,0 +1,115 @@
+"""Admission control and load shedding for the query service.
+
+Two independent mechanisms, both optional, both evaluated at submit time
+(before a query ever reaches the batcher):
+
+* **bounded ingress queue** — a hard cap on in-flight (pending) queries and
+  an optional lower *shed* watermark; crossing either rejects the query with
+  an explicit reason instead of letting the queue grow without bound, which
+  is what converts an overload from unbounded p99 growth into a bounded-
+  latency / elevated-shed-rate regime.
+* **token bucket** — a long-run rate limiter: the bucket refills at
+  ``tokens_per_time`` and each admitted query spends one token, so bursts up
+  to ``bucket_capacity`` pass but sustained over-rate traffic is throttled.
+
+The controller never blocks: a query is admitted (``None``) or rejected with
+a machine-readable reason string, which the service surfaces verbatim as
+``QueryResponse.reason`` and the metrics count per reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils import check_positive, check_positive_int
+
+__all__ = ["AdmissionConfig", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs for :class:`AdmissionController`.
+
+    Parameters
+    ----------
+    max_pending:
+        Hard ingress-queue bound.  ``None`` disables the bound (the
+        "naive"/unbounded configuration the serving benchmark contrasts
+        against).
+    shed_depth:
+        Optional early-shed watermark ``<= max_pending``; queries arriving
+        at or above this depth are rejected with reason ``"queue_depth"``
+        even though the hard cap has not been hit yet.
+    tokens_per_time:
+        Token-bucket refill rate (queries per simulation time unit).
+        ``None`` disables rate limiting.
+    bucket_capacity:
+        Burst allowance when rate limiting is on; the bucket starts full.
+    """
+
+    max_pending: int | None = 256
+    shed_depth: int | None = None
+    tokens_per_time: float | None = None
+    bucket_capacity: float = 32.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending is not None:
+            check_positive_int(self.max_pending, "max_pending")
+        if self.shed_depth is not None:
+            check_positive_int(self.shed_depth, "shed_depth")
+            if self.max_pending is not None and self.shed_depth > self.max_pending:
+                raise ValueError(
+                    f"shed_depth {self.shed_depth} exceeds max_pending "
+                    f"{self.max_pending}"
+                )
+        if self.tokens_per_time is not None:
+            check_positive(self.tokens_per_time, "tokens_per_time")
+            check_positive(self.bucket_capacity, "bucket_capacity")
+
+
+class AdmissionController:
+    """Stateless-per-query admit/reject decisions with token-bucket state."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self.config = config or AdmissionConfig()
+        self._tokens = float(self.config.bucket_capacity)
+        self._last_refill = 0.0
+
+    def admit(self, now: float, depth: int) -> str | None:
+        """Decide on one arrival.
+
+        Parameters
+        ----------
+        now:
+            Current simulation time (drives token-bucket refill; must be
+            non-decreasing across calls).
+        depth:
+            Number of queries currently pending inside the service (batcher
+            plus backlog plus in-flight batch).
+
+        Returns ``None`` to admit, or a rejection reason: ``"queue_full"``
+        (hard cap), ``"queue_depth"`` (shed watermark), ``"throttled"``
+        (token bucket empty).  A rejected query consumes no token.
+        """
+        cfg = self.config
+        if cfg.max_pending is not None and depth >= cfg.max_pending:
+            return "queue_full"
+        if cfg.shed_depth is not None and depth >= cfg.shed_depth:
+            return "queue_depth"
+        if cfg.tokens_per_time is not None:
+            elapsed = float(now) - self._last_refill
+            if elapsed > 0:
+                self._tokens = min(
+                    cfg.bucket_capacity,
+                    self._tokens + elapsed * cfg.tokens_per_time,
+                )
+                self._last_refill = float(now)
+            if self._tokens < 1.0:
+                return "throttled"
+            self._tokens -= 1.0
+        return None
+
+    @property
+    def tokens(self) -> float:
+        """Current bucket level (diagnostic)."""
+        return self._tokens

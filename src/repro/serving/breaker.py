@@ -1,0 +1,166 @@
+"""Per-peer circuit breaker driven by observed forwarding failures.
+
+The resilient walk (PR 7) already *survives* dead or lossy peers by
+rerouting and retrying, but it pays for each encounter in TTL: every reroute
+or retry burns hops that could have explored the graph.  The breaker turns
+those observations into avoidance: peers that keep failing are quarantined
+for a cooldown so subsequent walks never attempt them, recovering most of
+the wasted budget without any oracle knowledge of the fault plan.
+
+Classic three-state machine, evaluated lazily against simulation time:
+
+* ``CLOSED`` — healthy; failures accumulate in a sliding window, and any
+  successful contact clears it.  The discriminating signal is *failures
+  without intervening successes*: a crashed peer only ever fails, so it
+  reaches the threshold in a handful of encounters, while a healthy peer
+  behind a lossy link keeps getting its window wiped by the successful
+  retries/visits that follow each transient drop.
+* ``OPEN`` — quarantined; entered when the window reaches
+  ``failure_threshold`` failures, holds for ``cooldown`` time units.
+  Walks exclude OPEN peers via the engine's ``quarantine`` parameter.
+* ``HALF_OPEN`` — cooldown expired; the peer is *not* excluded, so the next
+  walks probe it naturally.  ``half_open_successes`` successful contacts
+  close it; any failure re-opens it immediately.
+
+There are no timers: state is derived from recorded timestamps on demand,
+so the breaker works inside the discrete-event simulation without owning
+events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.utils import check_positive, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.engine import SearchResult
+
+__all__ = ["BreakerConfig", "PeerCircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Knobs for :class:`PeerCircuitBreaker`.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Failures within ``window`` — with no intervening success — that trip
+        a CLOSED peer to OPEN.  Keep it above the per-walk retry budget so a
+        single unlucky hop (every retry against one peer dropped) cannot
+        trip a healthy peer on its own.
+    window:
+        Sliding-window length (simulation time units) over which failures
+        count toward the threshold.
+    cooldown:
+        How long an OPEN peer stays quarantined before probing resumes.
+    half_open_successes:
+        Consecutive successful contacts required to close a HALF_OPEN peer.
+    """
+
+    failure_threshold: int = 3
+    window: float = 50.0
+    cooldown: float = 200.0
+    half_open_successes: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.failure_threshold, "failure_threshold")
+        check_positive(self.window, "window")
+        check_positive(self.cooldown, "cooldown")
+        check_positive_int(self.half_open_successes, "half_open_successes")
+
+
+class PeerCircuitBreaker:
+    """Tracks per-peer health and yields the current quarantine set."""
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config or BreakerConfig()
+        self._failures: dict[int, deque[float]] = {}
+        self._open_until: dict[int, float] = {}
+        self._probe_successes: dict[int, int] = {}
+        self.trips = 0
+
+    # -------------------------------------------------------------- state
+
+    def state(self, peer: int, now: float) -> str:
+        until = self._open_until.get(peer)
+        if until is None:
+            return CLOSED
+        return OPEN if now < until else HALF_OPEN
+
+    def quarantined(self, now: float) -> frozenset[int]:
+        """Peers to exclude from walks right now (OPEN only).
+
+        HALF_OPEN peers are deliberately *not* excluded — allowing traffic
+        through is what probes them.
+        """
+        return frozenset(
+            peer for peer, until in self._open_until.items() if now < until
+        )
+
+    # ---------------------------------------------------------- transitions
+
+    def record_failure(self, peer: int, now: float) -> None:
+        """One failed forwarding attempt (dead-peer reroute or drop retry)."""
+        state = self.state(peer, now)
+        if state == OPEN:
+            return  # already quarantined; nothing new to learn
+        if state == HALF_OPEN:
+            # Failed probe: re-open for a full cooldown.
+            self._trip(peer, now)
+            return
+        window = self._failures.setdefault(peer, deque())
+        window.append(float(now))
+        cutoff = float(now) - self.config.window
+        while window and window[0] < cutoff:
+            window.popleft()
+        if len(window) >= self.config.failure_threshold:
+            self._trip(peer, now)
+
+    def record_success(self, peer: int, now: float) -> None:
+        """One successful contact with ``peer``."""
+        state = self.state(peer, now)
+        if state == CLOSED:
+            # A healthy response wipes the failure window: only failure
+            # *streaks* trip the breaker, not lifetime totals — otherwise a
+            # few-percent transient drop rate eventually quarantines every
+            # busy peer.
+            self._failures.pop(peer, None)
+            return
+        if state != HALF_OPEN:
+            return
+        count = self._probe_successes.get(peer, 0) + 1
+        if count >= self.config.half_open_successes:
+            self._open_until.pop(peer, None)
+            self._probe_successes.pop(peer, None)
+            self._failures.pop(peer, None)
+        else:
+            self._probe_successes[peer] = count
+
+    def _trip(self, peer: int, now: float) -> None:
+        self._open_until[peer] = float(now) + self.config.cooldown
+        self._probe_successes.pop(peer, None)
+        self._failures.pop(peer, None)
+        self.trips += 1
+
+    # ------------------------------------------------------------- ingestion
+
+    def observe(self, result: "SearchResult", now: float) -> None:
+        """Fold one walk's outcome into the breaker.
+
+        Successes first (peers actually visited responded), then failures
+        (``SearchResult.failed_peers`` counts per-peer reroutes/retries), so
+        a peer that both served and later dropped still accrues the failure.
+        """
+        for node in set(result.path):
+            self.record_success(int(node), now)
+        for peer, count in result.failed_peers.items():
+            for _ in range(int(count)):
+                self.record_failure(int(peer), now)

@@ -1,0 +1,506 @@
+"""The online query service: admission → micro-batch → deadline-aware walks.
+
+:class:`QueryService` turns the repository's one-shot search primitives into
+a long-lived serving loop over the discrete-event clock:
+
+1. **Admission** (:mod:`repro.serving.admission`) — each arriving query is
+   admitted or shed immediately with an explicit reason; the ingress queue
+   never grows without bound unless explicitly configured to.
+2. **Micro-batching** (:mod:`repro.serving.scheduler`) — admitted queries
+   coalesce into engine batches under the dual trigger (``max_batch`` items
+   or ``max_wait`` elapsed), then execute through the vectorized
+   :func:`~repro.core.batch.run_queries` (fault-free) or the per-query
+   resilient :func:`~repro.core.engine.run_query` (faults / quarantine).
+3. **Deadline budgets** — a simple :class:`CostModel` prices batch setup and
+   per-hop time; a query whose deadline precedes its walk start is shed
+   (``REJECTED``/``"deadline"``), and one that can start but not finish gets
+   a hop budget so the walk returns best-so-far partials (``DEGRADED`` with
+   ``deadline_hit``) instead of blowing its deadline or silently dropping.
+4. **Health-aware routing** — an optional
+   :class:`~repro.serving.breaker.PeerCircuitBreaker` folds each walk's
+   per-peer failure observations into a quarantine set that subsequent
+   walks route around; a ``static_quarantine`` supports oracle baselines.
+5. **Staleness-aware refresh** — when the underlying
+   :class:`~repro.core.search.DiffusionSearchNetwork` is stale, a small
+   dirty set is patched in-line via the incremental push path (its cost
+   charged to the batch); a large one is deferred and the batch serves the
+   stale cache, marked ``stale_served``, rather than blocking on a full
+   re-diffusion.
+
+Every submitted query resolves to exactly one :class:`QueryResponse` with
+outcome ``OK``, ``DEGRADED``, or ``REJECTED`` — never a silent drop.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.batch import run_queries
+from repro.core.engine import (
+    ResilienceConfig,
+    SearchResult,
+    WalkConfig,
+    run_query,
+)
+from repro.core.forwarding import ForwardingPolicy
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.retrieval.vector_store import DocumentStore
+from repro.runtime.events import EventQueue
+from repro.runtime.faults import FaultInjector
+from repro.serving.admission import AdmissionConfig, AdmissionController
+from repro.serving.breaker import PeerCircuitBreaker
+from repro.serving.metrics import ServiceMetrics
+from repro.serving.scheduler import MicroBatchConfig, MicroBatcher
+from repro.utils import check_non_negative, check_positive, check_positive_int
+from repro.utils.rng import RngLike, derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.search import DiffusionSearchNetwork
+
+__all__ = [
+    "CostModel",
+    "Outcome",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ServingConfig",
+    "StalenessConfig",
+]
+
+
+class Outcome(str, Enum):
+    """Per-query disposition: the service's explicit result taxonomy."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices service work in simulation time units (drives deadlines).
+
+    ``walk_start = flush_time + refresh_cost + batch_overhead +
+    per_query × batch_size``; each walk then advances ``hop_cost`` per hop.
+    """
+
+    batch_overhead: float = 0.5
+    per_query: float = 0.05
+    hop_cost: float = 1.0
+    refresh_overhead: float = 1.0
+    refresh_per_dirty: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.batch_overhead, "batch_overhead")
+        check_non_negative(self.per_query, "per_query")
+        check_positive(self.hop_cost, "hop_cost")
+        check_non_negative(self.refresh_overhead, "refresh_overhead")
+        check_non_negative(self.refresh_per_dirty, "refresh_per_dirty")
+
+
+@dataclass(frozen=True)
+class StalenessConfig:
+    """When and how to patch a stale diffusion before serving a batch.
+
+    A dirty set up to ``max_dirty_refresh`` nodes is refreshed in-line with
+    the incremental ``method`` path; anything larger is deferred (the batch
+    serves stale, marked ``stale_served``) on the grounds that blocking the
+    whole batch on a near-full re-diffusion costs more than slightly stale
+    routing scores.
+    """
+
+    max_dirty_refresh: int = 64
+    method: str = "push"
+    tol: float = 1e-8
+    max_iterations: int = 10_000
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_dirty_refresh, "max_dirty_refresh")
+        check_positive(self.tol, "tol")
+        check_positive_int(self.max_iterations, "max_iterations")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything the service needs beyond the data plane objects."""
+
+    walk: WalkConfig = field(default_factory=WalkConfig)
+    batch: MicroBatchConfig = field(default_factory=MicroBatchConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    cost: CostModel = field(default_factory=CostModel)
+    resilience: ResilienceConfig | None = None
+    staleness: StalenessConfig = field(default_factory=StalenessConfig)
+
+
+@dataclass
+class QueryRequest:
+    """One query as submitted to the service."""
+
+    query_id: Hashable
+    embedding: np.ndarray
+    start_node: int
+    arrival: float = 0.0
+    deadline: float = math.inf
+
+
+@dataclass
+class QueryResponse:
+    """The service's answer for one submitted query (exactly one per query)."""
+
+    query_id: Hashable
+    outcome: Outcome
+    reason: str | None
+    result: SearchResult | None
+    arrival: float
+    started: float | None
+    completed: float
+    stale_served: bool = False
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion time (meaningless for rejections)."""
+        return self.completed - self.arrival
+
+
+class QueryService:
+    """Long-lived query serving over the walk engines (see module docstring).
+
+    Parameters
+    ----------
+    adjacency, stores, policy:
+        The data plane: overlay topology, per-node document stores, and the
+        forwarding policy over the diffused embeddings.
+    config:
+        All serving knobs (:class:`ServingConfig`).
+    queue:
+        The shared :class:`~repro.runtime.events.EventQueue`; supply the
+        simulation's queue so load generators and fault timelines share the
+        clock.  A private queue is created when omitted.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultInjector`; its presence
+        switches execution to the per-query resilient engine.
+    breaker:
+        Optional :class:`~repro.serving.breaker.PeerCircuitBreaker`; it
+        observes every resilient walk and its OPEN peers are excluded from
+        subsequent walks.
+    static_quarantine:
+        Peers to exclude from every walk regardless of the breaker (oracle
+        baselines, operator denylists).
+    network:
+        The owning :class:`~repro.core.search.DiffusionSearchNetwork`, if
+        any — enables the staleness-aware refresh path.  ``stores`` and
+        ``policy`` should come from the same network.
+    on_response:
+        Callback invoked with each :class:`QueryResponse` as it resolves
+        (rejections resolve at submit time, completions at walk end).
+    """
+
+    def __init__(
+        self,
+        adjacency: CompressedAdjacency,
+        stores: Mapping[int, DocumentStore],
+        policy: ForwardingPolicy,
+        *,
+        config: ServingConfig | None = None,
+        queue: EventQueue | None = None,
+        faults: FaultInjector | None = None,
+        breaker: PeerCircuitBreaker | None = None,
+        static_quarantine: Iterable[int] | None = None,
+        network: "DiffusionSearchNetwork | None" = None,
+        on_response: Callable[[QueryResponse], None] | None = None,
+        seed: RngLike = None,
+    ) -> None:
+        self.adjacency = adjacency
+        self.stores = stores
+        self.policy = policy
+        self.config = config or ServingConfig()
+        # Not `queue or EventQueue()`: an empty EventQueue is falsy (len 0),
+        # which would silently discard the caller's shared clock.
+        self.queue = EventQueue() if queue is None else queue
+        self.faults = faults
+        self.breaker = breaker
+        self.static_quarantine = (
+            frozenset(int(p) for p in static_quarantine)
+            if static_quarantine
+            else frozenset()
+        )
+        self.network = network
+        self.on_response = on_response
+        self.metrics = ServiceMetrics()
+        self.responses: list[QueryResponse] = []
+        self.admission = AdmissionController(self.config.admission)
+        self.batcher: MicroBatcher[QueryRequest] = MicroBatcher(
+            self.queue, self._on_flush, self.config.batch
+        )
+        self._backlog: deque[QueryRequest] = deque()
+        self._in_flight = 0
+        self._busy = False
+        self._batch_counter = 0
+        self._serving_stale = False
+        self._seed = seed
+
+    @classmethod
+    def from_network(
+        cls,
+        network: "DiffusionSearchNetwork",
+        **kwargs: object,
+    ) -> "QueryService":
+        """Build a service over a diffused search network's data plane."""
+        return cls(
+            network.adjacency,
+            network.stores,
+            network.default_policy(),
+            network=network,
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    # ---------------------------------------------------------------- ingress
+
+    @property
+    def depth(self) -> int:
+        """Queries currently inside the service (batcher + backlog + running)."""
+        return len(self.batcher) + len(self._backlog) + self._in_flight
+
+    def submit(self, request: QueryRequest) -> QueryResponse | None:
+        """Offer one query; returns the rejection response, or ``None``.
+
+        Call from an event action (or before starting the clock): the
+        arrival timestamp is taken from ``queue.now``.  An admitted query's
+        response arrives later via :attr:`responses` / ``on_response``.
+        """
+        now = self.queue.now
+        request.arrival = now
+        self.metrics.record_submitted()
+        reason = self.admission.admit(now, self.depth)
+        if reason is None and request.deadline <= now:
+            reason = "deadline"  # dead on arrival; don't waste a slot
+        if reason is not None:
+            response = QueryResponse(
+                query_id=request.query_id,
+                outcome=Outcome.REJECTED,
+                reason=reason,
+                result=None,
+                arrival=now,
+                started=None,
+                completed=now,
+            )
+            self._resolve(response)
+            return response
+        self.batcher.add(request)
+        return None
+
+    def drain(self) -> None:
+        """Run the clock until every admitted query resolves.
+
+        No eager flush: pending items always have an armed window timer, so
+        batches form at their scheduled times, not at drain time.
+        """
+        while True:
+            while self.queue.step():
+                pass
+            if len(self.batcher):
+                self.batcher.flush()
+                continue
+            return
+
+    # ------------------------------------------------------------- batch path
+
+    def _on_flush(self, batch: list[QueryRequest]) -> None:
+        if self._busy:
+            self._backlog.extend(batch)
+            return
+        self._run_batch(batch)
+
+    def _run_batch(self, batch: list[QueryRequest]) -> None:
+        cost = self.config.cost
+        self._in_flight += len(batch)
+        self.metrics.record_batch(len(batch))
+        refresh_cost = self._maybe_refresh()
+        walk_start = (
+            self.queue.now
+            + refresh_cost
+            + cost.batch_overhead
+            + cost.per_query * len(batch)
+        )
+
+        # Shed queries that cannot even start before their deadline.
+        runnable: list[QueryRequest] = []
+        for request in batch:
+            if request.deadline <= walk_start:
+                self._in_flight -= 1
+                self._resolve(
+                    QueryResponse(
+                        query_id=request.query_id,
+                        outcome=Outcome.REJECTED,
+                        reason="deadline",
+                        result=None,
+                        arrival=request.arrival,
+                        started=None,
+                        completed=self.queue.now,
+                    )
+                )
+            else:
+                runnable.append(request)
+        if not runnable:
+            self._finish_batch(self.queue.now)
+            return
+
+        # Deadline → hop budget: hop h completes at walk_start + h·hop_cost.
+        ttl = self.config.walk.ttl
+        budgets: list[int] = []
+        any_finite = False
+        for request in runnable:
+            if math.isinf(request.deadline):
+                budgets.append(ttl)
+            else:
+                any_finite = True
+                slack = request.deadline - walk_start
+                budgets.append(max(1, min(ttl, math.ceil(slack / cost.hop_cost))))
+
+        results = self._execute(runnable, budgets if any_finite else None, walk_start)
+
+        busy_until = walk_start
+        for request, result in zip(runnable, results):
+            completed = walk_start + result.hops_used * cost.hop_cost
+            busy_until = max(busy_until, completed)
+            outcome = Outcome.DEGRADED if result.degraded else Outcome.OK
+            reason = None
+            if result.degraded:
+                reason = "deadline" if result.deadline_hit else "faults"
+            self._in_flight -= 1
+            self._resolve(
+                QueryResponse(
+                    query_id=request.query_id,
+                    outcome=outcome,
+                    reason=reason,
+                    result=result,
+                    arrival=request.arrival,
+                    started=walk_start,
+                    completed=completed,
+                    stale_served=self._serving_stale,
+                )
+            )
+        self._finish_batch(busy_until)
+
+    def _execute(
+        self,
+        batch: list[QueryRequest],
+        budgets: list[int] | None,
+        walk_start: float,
+    ) -> list[SearchResult]:
+        quarantine: frozenset[int] = self.static_quarantine
+        if self.breaker is not None:
+            quarantine = quarantine | self.breaker.quarantined(walk_start)
+        resilience = self.config.resilience
+        seed = derive_rng(self._seed, "batch", self._batch_counter)
+        self._batch_counter += 1
+
+        if self.faults is None and not quarantine and resilience is None:
+            # Fault-free fast path: the vectorized lockstep engine.  With no
+            # finite deadlines (budgets None) this is bit-identical to a
+            # direct run_queries call — pinned by tests.
+            embeddings = np.stack(
+                [np.asarray(r.embedding, dtype=np.float64) for r in batch]
+            )
+            return run_queries(
+                self.adjacency,
+                self.stores,
+                self.policy,
+                embeddings,
+                [r.start_node for r in batch],
+                self.config.walk,
+                query_ids=[r.query_id for r in batch],
+                seed=seed,
+                hop_budgets=budgets,
+            )
+
+        results: list[SearchResult] = []
+        for i, request in enumerate(batch):
+            result = run_query(
+                self.adjacency,
+                self.stores,
+                self.policy,
+                request.embedding,
+                request.start_node,
+                self.config.walk,
+                query_id=request.query_id,
+                seed=derive_rng(seed, "walk", i),
+                faults=self.faults,
+                resilience=resilience,
+                hop_budget=None if budgets is None else budgets[i],
+                quarantine=quarantine or None,
+            )
+            if self.breaker is not None:
+                self.breaker.observe(result, walk_start)
+            results.append(result)
+        return results
+
+    def _finish_batch(self, busy_until: float) -> None:
+        """Hold the service busy until the batch completes, then drain."""
+        self._busy = True
+        self.queue.schedule_at(max(busy_until, self.queue.now), self._on_complete)
+
+    def _on_complete(self) -> None:
+        self._busy = False
+        if self._backlog:
+            take = min(len(self._backlog), self.config.batch.max_batch)
+            batch = [self._backlog.popleft() for _ in range(take)]
+            self._run_batch(batch)
+
+    # -------------------------------------------------------------- staleness
+
+    def _maybe_refresh(self) -> float:
+        """Patch a stale diffusion if cheap; otherwise serve stale.
+
+        Returns the simulated time cost charged to the current batch and
+        updates :attr:`_serving_stale` (stamped onto the batch's responses).
+        """
+        network = self.network
+        if network is None or not network.is_stale:
+            self._serving_stale = False
+            return 0.0
+        staleness = self.config.staleness
+        dirty = len(network.dirty_nodes)
+        if dirty > staleness.max_dirty_refresh:
+            self.metrics.deferred_refreshes += 1
+            self._serving_stale = True
+            return 0.0
+        try:
+            outcome = network.diffuse(
+                method=staleness.method,
+                tol=staleness.tol,
+                max_iterations=staleness.max_iterations,
+                incremental=True,
+            )
+        except ValueError:
+            # No baseline to patch (or backend without incremental support):
+            # a full re-diffusion would block the batch, so defer and serve
+            # the stale cache instead.
+            self.metrics.deferred_refreshes += 1
+            self._serving_stale = True
+            return 0.0
+        if not outcome.converged:
+            self.metrics.failed_refreshes += 1
+            self._serving_stale = True
+            return 0.0
+        self.metrics.refreshes += 1
+        self._serving_stale = False
+        # The cached embeddings changed object identity; rebuild the policy
+        # view over them.
+        self.policy = network.default_policy()
+        cost = self.config.cost
+        return cost.refresh_overhead + cost.refresh_per_dirty * dirty
+
+    # ------------------------------------------------------------------ misc
+
+    def _resolve(self, response: QueryResponse) -> None:
+        self.metrics.record_response(response)
+        self.responses.append(response)
+        if self.on_response is not None:
+            self.on_response(response)

@@ -4,6 +4,9 @@
 words as queries and their nearest neighbors as gold documents, provided that
 their cosine similarity is over 0.6 and the two sets do not overlap.  The
 remaining words are treated as a pool of irrelevant documents."
+
+Also provides the open-loop arrival process (:func:`poisson_arrival_times`)
+the online-serving layer uses to drive query streams.
 """
 
 from __future__ import annotations
@@ -138,3 +141,41 @@ def build_workload(
         irrelevant_pool=irrelevant_pool,
         threshold=threshold,
     )
+
+
+def poisson_arrival_times(
+    rate: float,
+    *,
+    horizon: float | None = None,
+    n: int | None = None,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """Arrival timestamps of a homogeneous Poisson process of intensity ``rate``.
+
+    Open-loop by construction: arrivals are independent of service state, so
+    an overloaded server sees the queue grow rather than the offered load
+    back off — the regime admission control exists for.
+
+    Exactly one of ``horizon`` (generate until that time) or ``n`` (generate
+    that many arrivals) must be given.  Returns a sorted float array of
+    times, starting after 0.
+    """
+    check_positive(rate, "rate")
+    if (horizon is None) == (n is None):
+        raise ValueError("specify exactly one of horizon= or n=")
+    rng = ensure_rng(seed)
+    if n is not None:
+        check_positive(n, "n")
+        return np.cumsum(rng.exponential(1.0 / rate, size=int(n)))
+    check_positive(horizon, "horizon")
+    times: list[np.ndarray] = []
+    total = 0.0
+    # Draw in expected-size chunks until the horizon is crossed.
+    chunk = max(16, int(rate * horizon * 1.2) + 1)
+    while total <= horizon:
+        gaps = rng.exponential(1.0 / rate, size=chunk)
+        block = total + np.cumsum(gaps)
+        times.append(block)
+        total = float(block[-1])
+    merged = np.concatenate(times)
+    return merged[merged <= horizon]

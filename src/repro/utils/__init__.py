@@ -5,6 +5,9 @@ from repro.utils.validation import (
     check_probability,
     check_positive,
     check_non_negative,
+    check_int,
+    check_positive_int,
+    check_non_negative_int,
     check_matrix_2d,
     check_vector_1d,
 )
@@ -17,6 +20,9 @@ __all__ = [
     "check_probability",
     "check_positive",
     "check_non_negative",
+    "check_int",
+    "check_positive_int",
+    "check_non_negative_int",
     "check_matrix_2d",
     "check_vector_1d",
 ]

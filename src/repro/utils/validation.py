@@ -31,6 +31,33 @@ def check_non_negative(value: float, name: str) -> float:
     return value
 
 
+def check_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer (bools are rejected).
+
+    Accepts Python and numpy integers; rejects floats even when integral
+    (``2.0``), so silently truncating counts can never slip through, and
+    rejects booleans, which *are* ints in Python but are never a sensible
+    retry/redundancy count.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    return int(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a strictly positive integer."""
+    check_int(value, name)
+    check_positive(value, name)
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer."""
+    check_int(value, name)
+    check_non_negative(value, name)
+    return int(value)
+
+
 def check_matrix_2d(array: np.ndarray, name: str) -> np.ndarray:
     """Validate that ``array`` is a 2-D numpy array and return it as float64."""
     array = np.asarray(array, dtype=np.float64)

@@ -424,3 +424,150 @@ class TestSparseScoreStack:
             setting, policy, config=WalkConfig(ttl=8, fanout=3)
         )
         assert_results_identical(batch, scalar)
+
+
+class TestHopBudgets:
+    """Per-query deadline budgets match the scalar engine's semantics."""
+
+    def _policy(self, setting):
+        return PrecomputedScorePolicy(setting["embeddings"] @ setting["query"])
+
+    def test_mixed_budgets_match_scalar(self, setting):
+        policy = self._policy(setting)
+        config = WalkConfig(ttl=12)
+        starts = setting["starts"]
+        budgets = [(3 if i % 3 == 0 else (7 if i % 3 == 1 else 12)) for i in range(len(starts))]
+        batch = run_queries(
+            setting["adjacency"],
+            setting["stores"],
+            policy,
+            setting["query"],
+            starts,
+            config,
+            hop_budgets=budgets,
+        )
+        for i, (result, budget) in enumerate(zip(batch, budgets)):
+            scalar = run_query(
+                setting["adjacency"],
+                setting["stores"],
+                policy,
+                setting["query"],
+                starts[i],
+                config,
+                hop_budget=budget,
+            )
+            assert result.visits == scalar.visits
+            assert result.degraded == scalar.degraded
+            assert result.deadline_hit == scalar.deadline_hit
+            assert [(d.doc_id, d.score, d.node) for d in result.results] == [
+                (d.doc_id, d.score, d.node) for d in scalar.results
+            ]
+
+    def test_budget_truncates_only_capped_queries(self, setting):
+        policy = self._policy(setting)
+        config = WalkConfig(ttl=10)
+        starts = setting["starts"][:4]
+        budgets = [2, 10, 3, 10]
+        batch = run_queries(
+            setting["adjacency"],
+            setting["stores"],
+            policy,
+            setting["query"],
+            starts,
+            config,
+            hop_budgets=budgets,
+        )
+        for result, budget in zip(batch, budgets):
+            assert len(result.visits) <= budget
+            if budget < config.ttl and len(result.visits) == budget:
+                assert result.degraded and result.deadline_hit
+            if budget >= config.ttl:
+                assert not result.deadline_hit
+
+    def test_none_budgets_bit_identical(self, setting):
+        policy = self._policy(setting)
+        config = WalkConfig(ttl=10)
+        baseline = run_queries(
+            setting["adjacency"],
+            setting["stores"],
+            policy,
+            setting["query"],
+            setting["starts"],
+            config,
+        )
+        ttl_budgets = run_queries(
+            setting["adjacency"],
+            setting["stores"],
+            policy,
+            setting["query"],
+            setting["starts"],
+            config,
+            hop_budgets=[config.ttl] * len(setting["starts"]),
+        )
+        assert_results_identical(ttl_budgets, baseline)
+        for result in ttl_budgets:
+            assert not result.degraded and not result.deadline_hit
+
+    def test_budget_validation(self, setting):
+        policy = self._policy(setting)
+        kwargs = dict(
+            config=WalkConfig(ttl=5),
+        )
+        with pytest.raises(ValueError):
+            run_queries(
+                setting["adjacency"],
+                setting["stores"],
+                policy,
+                setting["query"],
+                setting["starts"],
+                hop_budgets=[0] * len(setting["starts"]),
+                **kwargs,
+            )
+        with pytest.raises(TypeError):
+            run_queries(
+                setting["adjacency"],
+                setting["stores"],
+                policy,
+                setting["query"],
+                setting["starts"],
+                hop_budgets=[1.5] * len(setting["starts"]),
+                **kwargs,
+            )
+        with pytest.raises(ValueError):
+            run_queries(
+                setting["adjacency"],
+                setting["stores"],
+                policy,
+                setting["query"],
+                setting["starts"],
+                hop_budgets=[3],  # wrong length
+                **kwargs,
+            )
+
+    def test_budgets_survive_chunking(self, setting, monkeypatch):
+        import repro.core.batch as batch_mod
+
+        policy = self._policy(setting)
+        config = WalkConfig(ttl=8)
+        budgets = [3 + (i % 5) for i in range(len(setting["starts"]))]
+        whole = run_queries(
+            setting["adjacency"],
+            setting["stores"],
+            policy,
+            setting["query"],
+            setting["starts"],
+            config,
+            hop_budgets=budgets,
+        )
+        monkeypatch.setattr(batch_mod, "VISITED_BUDGET_BYTES", 1)
+        chunked = run_queries(
+            setting["adjacency"],
+            setting["stores"],
+            policy,
+            setting["query"],
+            setting["starts"],
+            config,
+            hop_budgets=budgets,
+        )
+        assert_results_identical(chunked, whole)
+        assert [r.deadline_hit for r in chunked] == [r.deadline_hit for r in whole]

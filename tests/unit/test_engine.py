@@ -356,3 +356,111 @@ class TestEmptyStoreSentinel:
             )
             assert [d.doc_id for d in r3.results] == ["g3"]
             assert [d.doc_id for d in r5.results] == ["g5"]
+
+
+class TestHopBudget:
+    """Deadline budgets: min(ttl, hop_budget) horizon, explicit degradation."""
+
+    def _run(self, adjacency, ttl, hop_budget, quarantine=None):
+        return run_query(
+            adjacency,
+            {},
+            PrecomputedScorePolicy(np.arange(6, dtype=float)),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=ttl),
+            hop_budget=hop_budget,
+            quarantine=quarantine,
+        )
+
+    def test_budget_truncates_and_marks(self, path_adjacency):
+        result = self._run(path_adjacency, ttl=6, hop_budget=3)
+        assert len(result.visits) == 3
+        assert result.degraded
+        assert result.deadline_hit
+
+    def test_budget_at_or_above_ttl_is_identical(self, path_adjacency):
+        baseline = self._run(path_adjacency, ttl=4, hop_budget=None)
+        for budget in (4, 5, 100):
+            capped = self._run(path_adjacency, ttl=4, hop_budget=budget)
+            assert capped.visits == baseline.visits
+            assert not capped.degraded
+            assert not capped.deadline_hit
+
+    def test_budget_none_is_identical(self, path_adjacency):
+        baseline = self._run(path_adjacency, ttl=4, hop_budget=None)
+        assert not baseline.deadline_hit
+        assert not baseline.degraded
+
+    def test_budget_validation(self, path_adjacency):
+        with pytest.raises(ValueError):
+            self._run(path_adjacency, ttl=4, hop_budget=0)
+        with pytest.raises(TypeError):
+            self._run(path_adjacency, ttl=4, hop_budget=2.5)
+
+    def test_partial_results_still_returned(self, path_adjacency):
+        stores = {1: make_store(2, near=[1.0, 1.0])}
+        result = run_query(
+            path_adjacency,
+            stores,
+            PrecomputedScorePolicy(np.arange(6, dtype=float)),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=6),
+            hop_budget=2,
+        )
+        # The truncated walk reached node 1; its document is in the partials.
+        assert result.deadline_hit
+        assert result.found("near")
+
+
+class TestQuarantine:
+    def test_quarantined_peer_avoided(self, path_adjacency):
+        # Greedy scores walk 0→1→2...; quarantining 1 strands the walk at 0
+        # (path graph: node 0's only neighbor is 1).
+        result = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(np.arange(6, dtype=float)),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=4),
+            quarantine=[1],
+        )
+        assert result.path == [0]
+
+    def test_quarantine_reroutes_around_peer(self):
+        # Star + rim: from the hub, the best-scoring rim node is quarantined,
+        # so the walk takes the next-best.
+        graph = nx.star_graph(3)  # hub 0, leaves 1..3
+        adjacency = CompressedAdjacency.from_networkx(graph)
+        result = run_query(
+            adjacency,
+            {},
+            PrecomputedScorePolicy(np.array([0.0, 1.0, 2.0, 3.0])),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=2),
+            quarantine=[3],
+        )
+        assert result.path == [0, 2]
+
+    def test_empty_quarantine_identical(self, path_adjacency):
+        baseline = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(np.arange(6, dtype=float)),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=4),
+        )
+        quarantined = run_query(
+            path_adjacency,
+            {},
+            PrecomputedScorePolicy(np.arange(6, dtype=float)),
+            np.ones(2),
+            start_node=0,
+            config=WalkConfig(ttl=4),
+            quarantine=[],
+        )
+        assert quarantined.visits == baseline.visits

@@ -126,3 +126,46 @@ class TestRunLimits:
         queue.schedule(0.0, lambda: chain(0))
         queue.run()
         assert log == [0, 1, 2, 3]
+
+
+class TestCancelAfterDispatch:
+    """Regression: cancel() on an already-dispatched event is a no-op."""
+
+    def test_cancel_after_dispatch_returns_false(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.run()
+        assert event.dispatched
+        assert event.cancel() is False
+        assert not event.cancelled  # the action ran; don't pretend otherwise
+
+    def test_cancel_before_dispatch_returns_true_and_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        assert event.cancel() is True
+        assert event.cancel() is True  # repeat cancels stay True
+        queue.run()
+        assert not event.dispatched
+
+    def test_cancel_inside_own_action_is_noop(self):
+        queue = EventQueue()
+        log = []
+        holder = {}
+
+        def action():
+            log.append("ran")
+            # A size-triggered flush racing its own timer does exactly this.
+            holder["verdict"] = holder["event"].cancel()
+
+        holder["event"] = queue.schedule(1.0, action)
+        queue.run()
+        assert log == ["ran"]
+        assert holder["verdict"] is False
+
+    def test_dispatched_counter_unaffected_by_late_cancel(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.run()
+        event.cancel()
+        assert queue.dispatched == 2

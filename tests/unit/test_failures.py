@@ -25,7 +25,7 @@ class TestLossInjection:
     def _network(self, loss):
         adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
         net = SimNetwork(
-            adjacency, latency=LatencyModel(1.0, 0.0), loss_probability=loss, seed=0
+            adjacency, latency=LatencyModel(1.0, 0.0), drop_probability=loss, seed=0
         )
         nodes = [Counter(0), Counter(1)]
         net.attach_all(nodes)
@@ -58,9 +58,9 @@ class TestLossInjection:
     def test_invalid_loss_rejected(self):
         adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
         with pytest.raises(ValueError):
-            SimNetwork(adjacency, loss_probability=1.0)
+            SimNetwork(adjacency, drop_probability=1.0)
         with pytest.raises(ValueError):
-            SimNetwork(adjacency, loss_probability=-0.1)
+            SimNetwork(adjacency, drop_probability=-0.1)
 
 
 class TestDropAccounting:
@@ -114,8 +114,25 @@ class TestDropAccounting:
         adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
         net = SimNetwork(adjacency, drop_probability=0.25)
         assert net.loss_probability == 0.25
-        legacy = SimNetwork(adjacency, loss_probability=0.25)
+        with pytest.warns(DeprecationWarning, match="loss_probability"):
+            legacy = SimNetwork(adjacency, loss_probability=0.25)
         assert legacy.drop_probability == 0.25
+
+    def test_matching_alias_and_new_name_accepted(self):
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
+        with pytest.warns(DeprecationWarning):
+            net = SimNetwork(
+                adjacency, drop_probability=0.25, loss_probability=0.25
+            )
+        assert net.drop_probability == 0.25
+
+    def test_conflicting_alias_rejected(self):
+        adjacency = CompressedAdjacency.from_networkx(nx.path_graph(2))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="conflicting"):
+                SimNetwork(
+                    adjacency, drop_probability=0.1, loss_probability=0.25
+                )
 
 
 class TestChurnSendRules:
@@ -180,3 +197,43 @@ class TestDiffusionUnderLoss:
             AsyncPPRDiffusion(
                 adjacency, np.zeros((6, 2)), mode="push", loss_probability=0.1
             )
+
+
+class TestTrafficStatsNamespacing:
+    """record_dropped keys live in their own ``dropped:`` namespace."""
+
+    def test_prefixed_key_and_counter(self):
+        from repro.runtime.network import TrafficStats
+
+        stats = TrafficStats()
+        stats.record("hello")
+        stats.record_dropped("hello")
+        assert stats.by_type["str"] == 1
+        assert stats.by_type["dropped:str"] == 1
+        assert stats.dropped == 1
+
+    def test_sends_never_touch_drop_keys(self):
+        from repro.runtime.network import TrafficStats
+
+        stats = TrafficStats()
+        for _ in range(5):
+            stats.record("x")
+        assert stats.by_type == {"str": 5}
+        assert all(not k.startswith("dropped:") for k in stats.by_type)
+
+    def test_distinct_types_get_distinct_drop_keys(self):
+        from repro.runtime.network import TrafficStats
+
+        class Ping:
+            pass
+
+        class Pong:
+            pass
+
+        stats = TrafficStats()
+        stats.record_dropped(Ping())
+        stats.record_dropped(Ping())
+        stats.record_dropped(Pong())
+        assert stats.by_type["dropped:Ping"] == 2
+        assert stats.by_type["dropped:Pong"] == 1
+        assert stats.dropped == 3

@@ -628,3 +628,39 @@ class TestRuntimeSearchUnderFaults:
         assert result.degraded
         assert result.found("near")  # node 2 was provably reached
         assert not result.found("far")  # node 5 lies beyond the crash
+
+
+class TestResilienceConfigValidation:
+    """Construction-time validation (integer fields, not just float checks)."""
+
+    def test_defaults_valid(self):
+        config = ResilienceConfig()
+        assert config.max_retries >= 0
+
+    def test_rejects_non_integer_fields(self):
+        with pytest.raises(TypeError):
+            ResilienceConfig(max_retries=1.5)
+        with pytest.raises(TypeError):
+            ResilienceConfig(retry_backoff=0.5)
+        with pytest.raises(TypeError):
+            ResilienceConfig(redundancy=1.5)
+        with pytest.raises(TypeError):
+            ResilienceConfig(redundancy=True)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(retry_backoff=-2)
+        with pytest.raises(ValueError):
+            ResilienceConfig(redundancy=0)
+
+    def test_accepts_numpy_ints(self):
+        import numpy as np
+
+        config = ResilienceConfig(
+            max_retries=np.int64(4), retry_backoff=np.int32(2), redundancy=np.int64(2)
+        )
+        assert config.max_retries == 4
+        assert config.retry_backoff == 2
+        assert config.redundancy == 2

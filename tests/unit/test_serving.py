@@ -1,0 +1,624 @@
+"""Tests for the online serving layer (repro.serving).
+
+Pins the load-bearing contracts:
+
+* every submitted query resolves to exactly one explicit OK / DEGRADED /
+  REJECTED response — never a silent drop;
+* with infinite deadlines and no fault injector, service results are
+  bit-identical to a direct ``run_queries`` call over the same batch;
+* finite deadlines shed (can't start in time) or degrade (mid-walk budget)
+  with the reason attached;
+* admission control bounds the ingress queue with explicit reasons;
+* the circuit breaker's state machine trips, cools down, probes, and
+  recovers as configured;
+* staleness handling refreshes small dirty sets in-line and serves stale
+  (marked) for large ones.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.batch import run_queries
+from repro.core.engine import ResilienceConfig, WalkConfig
+from repro.core.search import DiffusionSearchNetwork
+from repro.runtime.events import EventQueue
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.serving import (
+    AdmissionConfig,
+    AdmissionController,
+    BreakerConfig,
+    MicroBatchConfig,
+    MicroBatcher,
+    Outcome,
+    PeerCircuitBreaker,
+    QueryRequest,
+    QueryService,
+    ServiceMetrics,
+    ServingConfig,
+)
+from repro.serving.service import CostModel, StalenessConfig
+
+
+# --------------------------------------------------------------------- fixture
+
+
+def make_network(n=40, dim=8, docs=10, seed=0):
+    graph = nx.connected_watts_strogatz_graph(n, 4, 0.3, seed=seed)
+    net = DiffusionSearchNetwork(graph, dim=dim, alpha=0.5)
+    rng = np.random.default_rng(seed)
+    vectors = {}
+    for d in range(docs):
+        vec = rng.standard_normal(dim)
+        node = int(rng.integers(n))
+        net.place_document(f"doc{d}", vec, node)
+        vectors[f"doc{d}"] = vec
+    net.diffuse(method="push")
+    return net, vectors, rng
+
+
+def make_service(net, *, config=None, queue=None, **kwargs):
+    return QueryService.from_network(
+        net, config=config or ServingConfig(), queue=queue, **kwargs
+    )
+
+
+# -------------------------------------------------------------------- admission
+
+
+class TestAdmissionController:
+    def test_admits_under_all_limits(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=4))
+        assert ctl.admit(0.0, 0) is None
+
+    def test_queue_full(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=4))
+        assert ctl.admit(0.0, 4) == "queue_full"
+
+    def test_shed_depth_before_hard_cap(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=10, shed_depth=3))
+        assert ctl.admit(0.0, 2) is None
+        assert ctl.admit(0.0, 3) == "queue_depth"
+
+    def test_unbounded_configuration(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=None))
+        assert ctl.admit(0.0, 10**6) is None
+
+    def test_token_bucket_throttles_sustained_rate(self):
+        ctl = AdmissionController(
+            AdmissionConfig(
+                max_pending=None, tokens_per_time=1.0, bucket_capacity=2.0
+            )
+        )
+        # Burst drains the bucket, then refill paces admissions.
+        assert ctl.admit(0.0, 0) is None
+        assert ctl.admit(0.0, 0) is None
+        assert ctl.admit(0.0, 0) == "throttled"
+        assert ctl.admit(1.0, 0) is None  # one token refilled
+        assert ctl.admit(1.0, 0) == "throttled"
+
+    def test_rejected_query_consumes_no_token(self):
+        ctl = AdmissionController(
+            AdmissionConfig(
+                max_pending=1, tokens_per_time=100.0, bucket_capacity=1.0
+            )
+        )
+        before = ctl.tokens
+        assert ctl.admit(0.0, 1) == "queue_full"
+        assert ctl.tokens == before
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_pending=0)
+        with pytest.raises(TypeError):
+            AdmissionConfig(max_pending=2.5)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_pending=4, shed_depth=5)
+        with pytest.raises(ValueError):
+            AdmissionConfig(tokens_per_time=-1.0)
+
+
+# ---------------------------------------------------------------------- breaker
+
+
+class TestPeerCircuitBreaker:
+    def _breaker(self, **kwargs):
+        defaults = dict(
+            failure_threshold=3, window=10.0, cooldown=100.0, half_open_successes=1
+        )
+        defaults.update(kwargs)
+        return PeerCircuitBreaker(BreakerConfig(**defaults))
+
+    def test_trips_at_threshold(self):
+        breaker = self._breaker()
+        for t in (0.0, 1.0):
+            breaker.record_failure(7, t)
+            assert breaker.quarantined(t) == frozenset()
+        breaker.record_failure(7, 2.0)
+        assert breaker.quarantined(2.0) == frozenset({7})
+        assert breaker.trips == 1
+
+    def test_window_prunes_old_failures(self):
+        breaker = self._breaker(window=5.0)
+        breaker.record_failure(7, 0.0)
+        breaker.record_failure(7, 1.0)
+        # Third failure arrives after the first two expired from the window.
+        breaker.record_failure(7, 20.0)
+        assert breaker.quarantined(20.0) == frozenset()
+
+    def test_cooldown_then_half_open(self):
+        breaker = self._breaker(cooldown=50.0)
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(3, t)
+        assert breaker.state(3, 10.0) == "open"
+        assert 3 in breaker.quarantined(10.0)
+        # After cooldown: HALF_OPEN and *not* quarantined (probing allowed).
+        assert breaker.state(3, 60.0) == "half_open"
+        assert breaker.quarantined(60.0) == frozenset()
+
+    def test_half_open_success_closes(self):
+        breaker = self._breaker(cooldown=50.0, half_open_successes=2)
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(3, t)
+        breaker.record_success(3, 60.0)
+        assert breaker.state(3, 60.0) == "half_open"  # one probe not enough
+        breaker.record_success(3, 61.0)
+        assert breaker.state(3, 61.0) == "closed"
+
+    def test_half_open_failure_reopens(self):
+        breaker = self._breaker(cooldown=50.0)
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(3, t)
+        breaker.record_failure(3, 60.0)  # failed probe
+        assert breaker.state(3, 61.0) == "open"
+        assert 3 in breaker.quarantined(61.0)
+        assert breaker.trips == 2
+
+    def test_success_in_closed_state_is_noop(self):
+        breaker = self._breaker()
+        breaker.record_success(5, 0.0)
+        assert breaker.state(5, 0.0) == "closed"
+
+    def test_success_clears_failure_window(self):
+        # Failure streaks trip the breaker, not lifetime failure totals: a
+        # success between failures resets the count.
+        breaker = self._breaker(failure_threshold=3)
+        breaker.record_failure(5, 0.0)
+        breaker.record_failure(5, 1.0)
+        breaker.record_success(5, 2.0)
+        breaker.record_failure(5, 3.0)
+        breaker.record_failure(5, 4.0)
+        assert breaker.quarantined(4.0) == frozenset()
+        breaker.record_failure(5, 5.0)
+        assert breaker.quarantined(5.0) == frozenset({5})
+
+    def test_observe_feeds_failures_and_successes(self):
+        from repro.core.engine import SearchResult
+        from repro.retrieval.topk import TopKTracker
+
+        breaker = self._breaker(failure_threshold=2)
+        result = SearchResult(
+            query_id="q",
+            start_node=0,
+            tracker=TopKTracker(1),
+            visits=[(0, 0), (1, 4)],
+            failed_peers={9: 2},
+        )
+        breaker.observe(result, 5.0)
+        assert 9 in breaker.quarantined(5.0)
+        assert breaker.state(4, 5.0) == "closed"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(TypeError):
+            BreakerConfig(failure_threshold=2.5)
+        with pytest.raises(ValueError):
+            BreakerConfig(window=0.0)
+
+
+# ----------------------------------------------------------------- micro-batch
+
+
+class TestMicroBatcher:
+    def test_size_trigger_flushes_immediately(self):
+        queue = EventQueue()
+        batches = []
+        batcher = MicroBatcher(
+            queue, batches.append, MicroBatchConfig(max_batch=3, max_wait=10.0)
+        )
+        for i in range(3):
+            batcher.add(i)
+        assert batches == [[0, 1, 2]]
+        assert batcher.flushes_by_size == 1
+        assert len(queue) == 0  # timer cancelled, nothing pending
+
+    def test_timer_trigger_flushes_partial(self):
+        queue = EventQueue()
+        batches = []
+        batcher = MicroBatcher(
+            queue, batches.append, MicroBatchConfig(max_batch=8, max_wait=2.0)
+        )
+        batcher.add("a")
+        batcher.add("b")
+        assert batches == []
+        queue.run()
+        assert batches == [["a", "b"]]
+        assert batcher.flushes_by_timer == 1
+        assert queue.now == 2.0
+
+    def test_timer_measured_from_first_item(self):
+        queue = EventQueue()
+        batches = []
+        batcher = MicroBatcher(
+            queue, batches.append, MicroBatchConfig(max_batch=8, max_wait=2.0)
+        )
+        queue.schedule(1.0, lambda: batcher.add("late"))
+        batcher.add("early")
+        queue.run()
+        # One flush at t=2 (armed by "early"), containing both.
+        assert batches == [["early", "late"]]
+
+    def test_manual_flush(self):
+        queue = EventQueue()
+        batches = []
+        batcher = MicroBatcher(queue, batches.append, MicroBatchConfig())
+        batcher.add("x")
+        batcher.flush()
+        assert batches == [["x"]]
+        batcher.flush()  # empty: no-op
+        assert batches == [["x"]]
+
+    def test_successive_windows(self):
+        queue = EventQueue()
+        batches = []
+        batcher = MicroBatcher(
+            queue, batches.append, MicroBatchConfig(max_batch=2, max_wait=5.0)
+        )
+        batcher.add(1)
+        batcher.add(2)  # size flush
+        batcher.add(3)  # opens a new window
+        queue.run()
+        assert batches == [[1, 2], [3]]
+        assert batcher.flushes_by_size == 1
+        assert batcher.flushes_by_timer == 1
+
+
+# ----------------------------------------------------------------- service core
+
+
+class TestServiceEquivalence:
+    def test_infinite_deadline_bit_identical_to_run_queries(self):
+        net, vectors, rng = make_network()
+        config = ServingConfig(
+            walk=WalkConfig(ttl=20),
+            batch=MicroBatchConfig(max_batch=8, max_wait=1.0),
+        )
+        queue = EventQueue()
+        service = make_service(net, config=config, queue=queue)
+        queries = []
+        for i in range(8):
+            vec = vectors[f"doc{i % len(vectors)}"]
+            start = int(rng.integers(net.n_nodes))
+            queries.append((i, vec, start))
+            service.submit(QueryRequest(query_id=i, embedding=vec, start_node=start))
+        service.drain()
+
+        direct = run_queries(
+            net.adjacency,
+            net.stores,
+            net.default_policy(),
+            np.stack([vec for _, vec, _ in queries]),
+            [start for _, _, start in queries],
+            config.walk,
+            query_ids=[i for i, _, _ in queries],
+        )
+        assert len(service.responses) == 8
+        by_id = {r.query_id: r for r in service.responses}
+        for want in direct:
+            got = by_id[want.query_id]
+            assert got.outcome is Outcome.OK
+            assert got.result.visits == want.visits
+            assert [(d.doc_id, d.score, d.node) for d in got.result.results] == [
+                (d.doc_id, d.score, d.node) for d in want.results
+            ]
+
+    def test_every_submission_resolves_exactly_once(self):
+        net, vectors, rng = make_network()
+        queue = EventQueue()
+        service = make_service(
+            net,
+            config=ServingConfig(
+                walk=WalkConfig(ttl=10),
+                batch=MicroBatchConfig(max_batch=4, max_wait=1.0),
+                admission=AdmissionConfig(max_pending=6),
+            ),
+            queue=queue,
+        )
+        n = 30
+        for i in range(n):
+            vec = vectors[f"doc{i % len(vectors)}"]
+            req = QueryRequest(
+                query_id=i,
+                embedding=vec,
+                start_node=int(rng.integers(net.n_nodes)),
+                deadline=float(i % 5) + 0.5,  # many will miss
+            )
+            queue.schedule_at(0.1 * i, lambda r=req: service.submit(r))
+        service.drain()
+        assert len(service.responses) == n
+        assert sorted(r.query_id for r in service.responses) == list(range(n))
+        m = service.metrics
+        assert m.submitted == n
+        assert m.ok + m.degraded + m.rejected == n
+        assert m.pending == 0
+
+
+class TestDeadlines:
+    def test_dead_on_arrival_rejected(self):
+        net, vectors, _ = make_network()
+        service = make_service(net)
+        response = service.submit(
+            QueryRequest(
+                query_id="late", embedding=vectors["doc0"], start_node=0, deadline=0.0
+            )
+        )
+        assert response is not None
+        assert response.outcome is Outcome.REJECTED
+        assert response.reason == "deadline"
+
+    def test_cannot_start_before_deadline_shed_at_flush(self):
+        net, vectors, _ = make_network()
+        config = ServingConfig(
+            walk=WalkConfig(ttl=10),
+            batch=MicroBatchConfig(max_batch=4, max_wait=5.0),
+            cost=CostModel(batch_overhead=2.0, per_query=0.0, hop_cost=1.0),
+        )
+        service = make_service(net, config=config)
+        # Flush happens at t=5 (timer), walk_start = 7; deadline 6 can't start.
+        service.submit(
+            QueryRequest(
+                query_id="tight",
+                embedding=vectors["doc0"],
+                start_node=0,
+                deadline=6.0,
+            )
+        )
+        service.drain()
+        (response,) = service.responses
+        assert response.outcome is Outcome.REJECTED
+        assert response.reason == "deadline"
+
+    def test_mid_walk_budget_degrades_with_partials(self):
+        net, vectors, _ = make_network()
+        config = ServingConfig(
+            walk=WalkConfig(ttl=20),
+            batch=MicroBatchConfig(max_batch=4, max_wait=1.0),
+            cost=CostModel(batch_overhead=0.0, per_query=0.0, hop_cost=1.0),
+        )
+        service = make_service(net, config=config)
+        # Flush at t=1, walk_start=1; deadline 4 → budget 3 hops < ttl 20.
+        service.submit(
+            QueryRequest(
+                query_id="q", embedding=vectors["doc0"], start_node=0, deadline=4.0
+            )
+        )
+        service.drain()
+        (response,) = service.responses
+        assert response.outcome is Outcome.DEGRADED
+        assert response.reason == "deadline"
+        assert response.result is not None
+        assert response.result.deadline_hit
+        assert len(response.result.visits) <= 3
+        assert response.completed <= 4.0 + 1e-9
+
+    def test_generous_deadline_is_ok(self):
+        net, vectors, _ = make_network()
+        service = make_service(
+            net,
+            config=ServingConfig(
+                walk=WalkConfig(ttl=10),
+                batch=MicroBatchConfig(max_batch=1, max_wait=1.0),
+            ),
+        )
+        service.submit(
+            QueryRequest(
+                query_id="q",
+                embedding=vectors["doc0"],
+                start_node=0,
+                deadline=1_000.0,
+            )
+        )
+        service.drain()
+        (response,) = service.responses
+        assert response.outcome is Outcome.OK
+        assert not response.result.deadline_hit
+
+
+class TestAdmissionInService:
+    def test_overload_sheds_with_queue_full(self):
+        net, vectors, rng = make_network()
+        service = make_service(
+            net,
+            config=ServingConfig(
+                walk=WalkConfig(ttl=10),
+                batch=MicroBatchConfig(max_batch=4, max_wait=1.0),
+                admission=AdmissionConfig(max_pending=5),
+            ),
+        )
+        for i in range(12):  # all at t=0; depth exceeds 5 quickly
+            service.submit(
+                QueryRequest(
+                    query_id=i,
+                    embedding=vectors["doc0"],
+                    start_node=int(rng.integers(net.n_nodes)),
+                )
+            )
+        service.drain()
+        m = service.metrics
+        assert m.rejected > 0
+        assert m.rejected_by_reason.get("queue_full", 0) == m.rejected
+        assert m.ok + m.degraded + m.rejected == 12
+
+
+class TestStaleness:
+    def test_small_dirty_set_refreshed_inline(self):
+        net, vectors, rng = make_network()
+        vec = rng.standard_normal(net.dim)
+        net.place_document("new-doc", vec, 5)
+        assert net.is_stale
+        service = make_service(
+            net,
+            config=ServingConfig(batch=MicroBatchConfig(max_batch=1, max_wait=1.0)),
+        )
+        service.submit(QueryRequest(query_id="q", embedding=vec, start_node=0))
+        service.drain()
+        assert not net.is_stale
+        assert service.metrics.refreshes == 1
+        (response,) = service.responses
+        assert not response.stale_served
+
+    def test_large_dirty_set_served_stale(self):
+        net, vectors, rng = make_network()
+        for d in range(6):
+            net.place_document(f"late{d}", rng.standard_normal(net.dim), d)
+        service = make_service(
+            net,
+            config=ServingConfig(
+                batch=MicroBatchConfig(max_batch=1, max_wait=1.0),
+                staleness=StalenessConfig(max_dirty_refresh=2),
+            ),
+        )
+        service.submit(
+            QueryRequest(query_id="q", embedding=vectors["doc0"], start_node=0)
+        )
+        service.drain()
+        assert net.is_stale  # refresh deferred
+        assert service.metrics.deferred_refreshes == 1
+        (response,) = service.responses
+        assert response.stale_served
+        assert service.metrics.stale_served == 1
+
+    def test_refresh_cost_charged_to_batch(self):
+        net, vectors, rng = make_network()
+        net.place_document("new-doc", rng.standard_normal(net.dim), 5)
+        cost = CostModel(
+            batch_overhead=0.0,
+            per_query=0.0,
+            hop_cost=1.0,
+            refresh_overhead=3.0,
+            refresh_per_dirty=1.0,
+        )
+        service = make_service(
+            net,
+            config=ServingConfig(
+                batch=MicroBatchConfig(max_batch=1, max_wait=1.0), cost=cost
+            ),
+        )
+        service.submit(
+            QueryRequest(query_id="q", embedding=vectors["doc0"], start_node=0)
+        )
+        service.drain()
+        (response,) = service.responses
+        # max_batch=1 size-flushes at t=0; walk_start = 0 + refresh (3 + 1·1).
+        assert response.started == pytest.approx(4.0)
+
+
+class TestFaultyService:
+    def test_all_queries_resolve_under_faults(self):
+        net, vectors, rng = make_network(n=60)
+        plan = FaultPlan.generate(
+            net.n_nodes, crash_fraction=0.2, drop_probability=0.1, seed=3
+        )
+        injector = FaultInjector(plan)
+        breaker = PeerCircuitBreaker(
+            BreakerConfig(failure_threshold=2, window=100.0, cooldown=100.0)
+        )
+        service = make_service(
+            net,
+            config=ServingConfig(
+                walk=WalkConfig(ttl=15),
+                batch=MicroBatchConfig(max_batch=4, max_wait=1.0),
+                resilience=ResilienceConfig(max_retries=2),
+            ),
+            faults=injector,
+            breaker=breaker,
+            seed=11,
+        )
+        live = sorted(set(range(net.n_nodes)) - plan.crashed_nodes(0.0))
+        n = 24
+        for i in range(n):
+            service.submit(
+                QueryRequest(
+                    query_id=i,
+                    embedding=vectors[f"doc{i % len(vectors)}"],
+                    start_node=int(live[int(rng.integers(len(live)))]),
+                )
+            )
+        service.drain()
+        assert len(service.responses) == n
+        m = service.metrics
+        assert m.ok + m.degraded + m.rejected == n
+
+    def test_static_quarantine_routes_around_peers(self):
+        net, vectors, rng = make_network()
+        service = make_service(
+            net,
+            config=ServingConfig(
+                walk=WalkConfig(ttl=10),
+                batch=MicroBatchConfig(max_batch=2, max_wait=1.0),
+            ),
+            static_quarantine=[1, 2, 3],
+        )
+        service.submit(
+            QueryRequest(query_id="q", embedding=vectors["doc0"], start_node=0)
+        )
+        service.drain()
+        (response,) = service.responses
+        visited = {node for _, node in response.result.visits}
+        assert visited.isdisjoint({1, 2, 3})
+
+
+class TestServiceMetrics:
+    def test_summary_shape(self):
+        metrics = ServiceMetrics()
+        summary = metrics.summary(horizon=10.0)
+        for key in ("p50", "p95", "p99", "throughput", "shed_rate", "submitted"):
+            assert key in summary
+        assert math.isnan(summary["p99"])
+        assert summary["throughput"] == 0.0
+
+    def test_percentiles_over_completions_only(self):
+        from repro.serving.service import QueryResponse
+
+        metrics = ServiceMetrics()
+        for latency in (1.0, 2.0, 3.0, 4.0):
+            metrics.record_submitted()
+            metrics.record_response(
+                QueryResponse(
+                    query_id=0,
+                    outcome=Outcome.OK,
+                    reason=None,
+                    result=None,
+                    arrival=0.0,
+                    started=0.0,
+                    completed=latency,
+                )
+            )
+        metrics.record_submitted()
+        metrics.record_response(
+            QueryResponse(
+                query_id=9,
+                outcome=Outcome.REJECTED,
+                reason="queue_full",
+                result=None,
+                arrival=0.0,
+                started=None,
+                completed=0.0,
+            )
+        )
+        assert metrics.latency_percentile(50) == pytest.approx(2.5)
+        assert metrics.rejected_by_reason == {"queue_full": 1}
+        assert metrics.completed == 4

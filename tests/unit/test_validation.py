@@ -4,9 +4,12 @@ import numpy as np
 import pytest
 
 from repro.utils.validation import (
+    check_int,
     check_matrix_2d,
     check_non_negative,
+    check_non_negative_int,
     check_positive,
+    check_positive_int,
     check_probability,
     check_vector_1d,
 )
@@ -70,3 +73,35 @@ class TestArrayChecks:
     def test_vector_1d_rejects_2d(self):
         with pytest.raises(ValueError):
             check_vector_1d([[1, 2]], "v")
+
+
+class TestIntChecks:
+    def test_check_int_accepts_python_and_numpy_ints(self):
+        assert check_int(3, "n") == 3
+        assert check_int(np.int64(3), "n") == 3
+        assert isinstance(check_int(np.int64(3), "n"), int)
+
+    def test_check_int_rejects_floats_even_integral(self):
+        with pytest.raises(TypeError):
+            check_int(3.0, "n")
+        with pytest.raises(TypeError):
+            check_int(np.float64(3.0), "n")
+
+    def test_check_int_rejects_bool(self):
+        # bool is an int subclass but never a sensible count/budget.
+        with pytest.raises(TypeError):
+            check_int(True, "n")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(1, "n") == 1
+        with pytest.raises(ValueError):
+            check_positive_int(0, "n")
+        with pytest.raises(TypeError):
+            check_positive_int(1.5, "n")
+
+    def test_check_non_negative_int(self):
+        assert check_non_negative_int(0, "n") == 0
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "n")
+        with pytest.raises(TypeError):
+            check_non_negative_int(0.0, "n")

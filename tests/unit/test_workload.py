@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.embeddings.model import WordEmbeddingModel
-from repro.simulation.workload import RetrievalWorkload, build_workload
+from repro.simulation.workload import (
+    RetrievalWorkload,
+    build_workload,
+    poisson_arrival_times,
+)
 
 
 class TestBuildWorkload:
@@ -112,3 +116,35 @@ class TestValidationInConstructor:
                 irrelevant_pool=["word00002"],
                 threshold=0.6,
             )
+
+
+class TestPoissonArrivals:
+    def test_horizon_mode_bounds_and_sorts(self):
+        times = poisson_arrival_times(2.0, horizon=100.0, seed=0)
+        assert times.size > 0
+        assert float(times[0]) > 0.0
+        assert float(times[-1]) <= 100.0
+        assert np.all(np.diff(times) >= 0)
+
+    def test_horizon_mode_count_near_rate_times_horizon(self):
+        times = poisson_arrival_times(5.0, horizon=1000.0, seed=1)
+        # mean 5000, std ~71; 5 sigma.
+        assert 4650 < times.size < 5350
+
+    def test_n_mode_exact_count(self):
+        times = poisson_arrival_times(3.0, n=250, seed=2)
+        assert times.shape == (250,)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_seed_reproducible(self):
+        a = poisson_arrival_times(1.0, horizon=50.0, seed=9)
+        b = poisson_arrival_times(1.0, horizon=50.0, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrival_times(0.0, horizon=10.0)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(1.0)  # neither horizon nor n
+        with pytest.raises(ValueError):
+            poisson_arrival_times(1.0, horizon=10.0, n=5)  # both
