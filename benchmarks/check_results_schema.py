@@ -7,9 +7,12 @@ fields downstream tooling keys on:
   critical path vs simulated clock ...), so cross-PR comparisons never mix
   measurement regimes silently;
 * ``peak_memory_bytes`` — the tracemalloc(+workers) peak of the measured
-  run, so memory regressions surface alongside timing ones.
+  run, so memory regressions surface alongside timing ones;
+* ``seed`` — the RNG seed (or the primary one, when a bench uses several)
+  that drove the measured run, so any headline number can be regenerated
+  bit-for-bit instead of argued about.
 
-Both are accepted anywhere in the document (top level or nested — e.g. the
+All are accepted anywhere in the document (top level or nested — e.g. the
 sharded bench stores ``speedup.criterion`` and ``scale_run.peak_memory_bytes``).
 Extra required dotted paths can be added per file with ``--require``.
 
@@ -28,7 +31,7 @@ import sys
 from pathlib import Path
 from typing import Any
 
-BASE_REQUIRED_KEYS = ("criterion", "peak_memory_bytes")
+BASE_REQUIRED_KEYS = ("criterion", "peak_memory_bytes", "seed")
 
 
 def contains_key(obj: Any, key: str) -> bool:

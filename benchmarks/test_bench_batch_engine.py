@@ -177,6 +177,7 @@ def test_batch_engine_speedup():
         ),
         data={
             "criterion": "wall_clock_speedup",
+            "seed": 11,  # graph seed; embeddings/workload use 12/13
             "configuration": {
                 "label": size.label,
                 "n_nodes": adjacency.n_nodes,

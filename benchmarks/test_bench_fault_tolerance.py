@@ -292,6 +292,7 @@ def test_fault_tolerance():
         "\n".join(lines),
         data={
             "criterion": "recall_at_10_vs_brute_force",
+            "seed": GRAPH_SEED,  # fault plans use PLAN_SEED (in configuration)
             "peak_memory_bytes": corpus_peak,
             "configuration": {
                 "label": size.label,

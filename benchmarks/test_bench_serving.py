@@ -417,6 +417,7 @@ def test_online_serving():
                 "plan_seed": PLAN_SEED,
             },
             "criterion": "simulated_clock_latency_recall_goodput",
+            "seed": GRAPH_SEED,  # arrivals/fault plans use ARRIVAL/PLAN_SEED
             "peak_memory_bytes": peak_memory,
             "wall_seconds": wall_seconds,
             "saturation_sweep": sweep,

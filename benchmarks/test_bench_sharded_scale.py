@@ -300,6 +300,7 @@ def test_sharded_scale():
         "sharded_scale" if size is FULL else "sharded_scale_reduced",
         "\n".join(lines),
         data={
+            "seed": 11,  # sweep graph seed; signal/scale graph use 12/21/22
             "configuration": {
                 "label": size.label,
                 "sweep_nodes": size.sweep_nodes,

@@ -234,6 +234,7 @@ def test_sparse_scale():
         "\n".join(lines),
         data={
             "criterion": "wall_clock_speedup_and_ranking_overlap",
+            "seed": 11,  # sweep graph seed; signal/scale graph use 12/21/22
             "configuration": {
                 "label": size.label,
                 "dense_nodes": size.dense_nodes,

@@ -1,0 +1,119 @@
+"""Cheap per-signal staleness bounds — act on an estimate, not ground truth.
+
+Under sustained churn the refresh scheduler needs to know *how wrong* the
+served scores currently are without paying for the refresh (or an exact
+solve) just to find out.  :class:`StalenessTracker` maintains an upper
+bound on the L1 error of a served diffusion using only O(1)-per-event
+bookkeeping:
+
+* **pending dirty mass** — per-node L1 magnitude of the personalization
+  delta accumulated since the last committed refresh.  Entries are *set*,
+  not summed: repeated churn on one node coalesces to its current
+  distance from the diffused baseline, so the bound (like the refresh
+  itself) scales with distinct dirty nodes rather than raw event count.
+* **accumulated push residual** — every tolerance-converged incremental
+  patch abandons up to its final residual L1 of un-diffused correction
+  (:attr:`repro.gsp.push.PushResult.residual_l1`); those leftovers add up
+  across patches and only a full refresh clears them.
+
+The bound is sound for column-normalized operators: the PPR filter
+``H = α (I − (1−α) A)⁻¹`` satisfies ``‖H‖₁ ≤ 1`` when ``‖A‖₁ ≤ 1``
+(a Neumann series of column-substochastic terms), so
+
+    ‖served − exact‖₁ = ‖H·Δ_pending + H·r_accumulated‖₁
+                      ≤ Σᵤ ‖Δ_pending[u]‖₁ + Σ residual_l1  =  bound()
+
+— validated bound-vs-true-error on every checkpoint by
+``benchmarks/test_bench_churn_slo.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["StalenessTracker"]
+
+
+class StalenessTracker:
+    """Maintains an L1 staleness bound for one served diffusion signal."""
+
+    def __init__(self) -> None:
+        self._pending: dict[int, float] = {}
+        self._residual_l1 = 0.0
+        # No baseline yet (or the last full run failed to converge): the
+        # pending-delta decomposition is undefined and the bound is ∞ until
+        # a full refresh commits.
+        self._baseline_known = False
+
+    # -------------------------------------------------------------- recording
+
+    def set_pending(self, node: int, delta_l1: float) -> None:
+        """Record node ``node``'s current L1 distance from the baseline.
+
+        Idempotent per node — callers recompute the distance after each
+        churn event and *overwrite*, so N moves of the same document cost
+        one entry, not N.  A zero distance (the node churned back to its
+        diffused state) removes the entry.
+        """
+        if delta_l1 < 0:
+            raise ValueError(f"delta_l1 must be >= 0, got {delta_l1}")
+        node = int(node)
+        if delta_l1 == 0.0:
+            self._pending.pop(node, None)
+        else:
+            self._pending[node] = float(delta_l1)
+
+    def invalidate(self) -> None:
+        """Declare the baseline unknown (bound becomes ∞ until a full run)."""
+        self._baseline_known = False
+        self._pending.clear()
+
+    def record_refresh(self, residual_l1: float, *, full: bool) -> None:
+        """Commit a refresh: pending mass is diffused, residual is kept.
+
+        A ``full`` refresh re-baselines — prior accumulated residual is
+        replaced by the new run's own leftover; an incremental patch adds
+        its leftover on top of what previous patches abandoned.
+        """
+        if residual_l1 < 0:
+            raise ValueError(f"residual_l1 must be >= 0, got {residual_l1}")
+        if full:
+            self._residual_l1 = float(residual_l1)
+            self._baseline_known = True
+        else:
+            self._residual_l1 += float(residual_l1)
+        self._pending.clear()
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def dirty_count(self) -> int:
+        """Distinct nodes with pending (coalesced) churn."""
+        return len(self._pending)
+
+    @property
+    def dirty_mass(self) -> float:
+        """Total pending L1 personalization delta (the incremental work unit)."""
+        return float(sum(self._pending.values()))
+
+    @property
+    def accumulated_residual_l1(self) -> float:
+        """L1 residual abandoned by refreshes since the last full run."""
+        return self._residual_l1
+
+    @property
+    def baseline_known(self) -> bool:
+        return self._baseline_known
+
+    def bound(self) -> float:
+        """Upper bound on the served signal's L1 error (∞ without baseline)."""
+        if not self._baseline_known:
+            return math.inf
+        return self.dirty_mass + self._residual_l1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StalenessTracker(dirty={self.dirty_count}, "
+            f"mass={self.dirty_mass:.4g}, residual={self._residual_l1:.4g}, "
+            f"bound={self.bound():.4g})"
+        )

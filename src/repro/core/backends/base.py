@@ -48,6 +48,13 @@ class DiffusionOutcome:
     ``accepts_sparse`` (built-in: ``sparse``) return a ``scipy.sparse`` CSR
     matrix instead — consumers that need a dense view call ``.toarray()``
     (the search facade does this lazily).
+
+    ``residual_l1`` is the L1 norm of the leftover residual for backends
+    built on the push kernels (``push``, ``sparse`` refresh): since
+    ``‖H‖₁ ≤ 1`` for a column-normalized operator, it upper-bounds the L1
+    error the outcome leaves behind — the quantity staleness trackers
+    accumulate across incremental refreshes.  Backends without residual
+    bookkeeping leave it at 0.
     """
 
     embeddings: np.ndarray
@@ -61,6 +68,7 @@ class DiffusionOutcome:
     sim_time: float = 0.0
     operations: int = 0
     incremental: bool = False
+    residual_l1: float = 0.0
 
 
 class DiffusionBackend(ABC):

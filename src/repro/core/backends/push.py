@@ -60,6 +60,7 @@ class PushDiffusionBackend(DiffusionBackend):
             residual=result.residual,
             converged=result.converged,
             operations=result.edge_operations,
+            residual_l1=result.residual_l1,
         )
 
     def refresh(
@@ -90,5 +91,6 @@ class PushDiffusionBackend(DiffusionBackend):
             residual=result.residual,
             converged=result.converged,
             operations=result.edge_operations,
+            residual_l1=result.residual_l1,
             incremental=True,
         )

@@ -136,5 +136,6 @@ class SparseDiffusionBackend(DiffusionBackend):
             residual=result.residual,
             converged=result.converged,
             operations=result.edge_operations,
+            residual_l1=result.residual_l1,
             incremental=True,
         )

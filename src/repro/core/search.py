@@ -44,6 +44,7 @@ import networkx as nx
 import numpy as np
 import scipy.sparse as sp
 
+from repro.churn.staleness import StalenessTracker
 from repro.core.backends import DiffusionBackend
 from repro.core.diffusion import DiffusionOutcome, resolve_backend
 from repro.core.engine import (
@@ -118,6 +119,10 @@ class DiffusionSearchNetwork:
         self._diffused_personalization: np.ndarray | sp.spmatrix | None = None
         self._dirty_nodes: set[int] = set()
         self._accumulated_residual = 0.0
+        # Coalesced per-node pending L1 mass + push residual: the cheap
+        # upper bound on the cached embeddings' error that SLO-driven
+        # refresh scheduling acts on (see repro.churn).
+        self.staleness = StalenessTracker()
 
     # ------------------------------------------------------------ documents
 
@@ -159,16 +164,43 @@ class DiffusionSearchNetwork:
 
     def clear_documents(self) -> None:
         """Drop every document (e.g. between experiment iterations)."""
-        for node in list(self.stores):
-            self._mark_dirty(node)
+        occupied = list(self.stores)
+        # Clear first, mark after: the pending-delta computation inside
+        # _mark_dirty reads the *current* store state, which here is empty.
         self.stores.clear()
         self._doc_locations.clear()
+        for node in occupied:
+            self._mark_dirty(node)
         self._stale = True
 
     def _mark_dirty(self, node: int) -> None:
-        """Record that ``node``'s personalization row changed."""
-        self._dirty_nodes.add(int(node))
+        """Record that ``node``'s personalization row changed.
+
+        Alongside the boolean dirty set, the staleness tracker receives the
+        node's coalesced pending mass — ``‖current row − diffused row‖₁``,
+        overwritten on every mark, so N churn events on one node cost one
+        tracker entry and contribute their *net* delta to the bound.
+        """
+        node = int(node)
+        self._dirty_nodes.add(node)
         self._stale = True
+        if self._diffused_personalization is not None:
+            self.staleness.set_pending(node, self._pending_delta_l1(node))
+
+    def _pending_delta_l1(self, node: int) -> float:
+        """L1 distance of ``node``'s personalization row from the baseline."""
+        baseline = self._diffused_personalization
+        if baseline is None:
+            return 0.0
+        if sp.issparse(baseline):
+            base_row = np.asarray(baseline.getrow(node).todense()).ravel()
+        else:
+            base_row = baseline[node]
+        store = self.stores.get(node)
+        if store is None or len(store) == 0:
+            return float(np.abs(base_row).sum())
+        current = personalization_vector(store.matrix(), self.weighting)
+        return float(np.abs(current - base_row).sum())
 
     def location_of(self, doc_id: Hashable) -> int:
         """Node currently holding ``doc_id``."""
@@ -333,8 +365,15 @@ class DiffusionSearchNetwork:
         # the baseline.  See :attr:`accumulated_residual`.
         if outcome.incremental:
             self._accumulated_residual += outcome.residual
+            self.staleness.record_refresh(outcome.residual_l1, full=False)
         else:
             self._accumulated_residual = outcome.residual
+            if outcome.converged:
+                self.staleness.record_refresh(outcome.residual_l1, full=True)
+            else:
+                # No baseline ⇒ the next delta is unknowable; the bound is ∞
+                # until a converged full run re-establishes one.
+                self.staleness.invalidate()
         return outcome
 
     @property
@@ -396,6 +435,46 @@ class DiffusionSearchNetwork:
         would diffuse; empty right after :meth:`diffuse`.
         """
         return frozenset(self._dirty_nodes)
+
+    def diffused_signal_mass(self) -> float:
+        """L1 mass of the personalization the cached embeddings came from.
+
+        The "how much signal does a full run diffuse" figure a
+        :class:`repro.churn.RefreshCostModel` needs to convert one observed
+        full-run cost into an incremental edge-ops-per-unit-mass rate.
+        0.0 while no converged baseline exists.
+        """
+        base = self._diffused_personalization
+        if base is None:
+            return 0.0
+        if sp.issparse(base):
+            return float(np.abs(base.data).sum()) if base.nnz else 0.0
+        return float(np.abs(base).sum())
+
+    @property
+    def dirty_mass(self) -> float:
+        """Total pending personalization change, in L1 mass.
+
+        The sum over dirty nodes of ``‖current row − diffused row‖₁``,
+        coalesced per node (repeated churn on one node contributes its net
+        delta once).  This is the quantity the refresh cost model prices an
+        incremental refresh by, and the churn half of
+        :meth:`staleness_bound`.
+        """
+        return self.staleness.dirty_mass
+
+    def staleness_bound(self) -> float:
+        """Upper bound on the cached embeddings' entrywise L1 error.
+
+        ``dirty_mass + accumulated push residual``: with column
+        normalization the PPR filter satisfies ``‖H‖₁ ≤ 1``, so un-diffused
+        personalization mass can only shrink on its way into the cached
+        embeddings (see :class:`repro.churn.StalenessTracker` for the
+        argument).  ``inf`` while no converged diffusion baseline exists.
+        O(1); computing the true error costs a full re-diffusion — the whole
+        point is that SLO scheduling can consult this every tick.
+        """
+        return self.staleness.bound()
 
     @property
     def last_diffusion(self) -> DiffusionOutcome | None:

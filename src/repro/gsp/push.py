@@ -51,6 +51,13 @@ class PushResult:
         The diffused signal ``≈ H r0`` with shape ``(n_nodes, dim)``.
     residual:
         Final max-abs entry of the residual matrix (the convergence metric).
+    residual_l1:
+        Final L1 norm of the residual matrix (``Σ|r|`` over every entry).
+        For a column-normalized operator ``‖H‖₁ ≤ 1``, so the un-applied
+        correction ``H r`` satisfies ``‖H r‖₁ ≤ residual_l1`` — the quantity
+        staleness trackers accumulate as the *error bound* left behind by a
+        truncated or tolerance-converged push (see
+        :class:`repro.churn.StalenessTracker`).
     sweeps:
         Number of batched Gauss–Southwell sweeps performed.
     pushes:
@@ -68,6 +75,7 @@ class PushResult:
     pushes: int
     edge_operations: int
     converged: bool
+    residual_l1: float = 0.0
 
 
 def forward_push(
@@ -166,6 +174,7 @@ def forward_push(
         pushes=pushes,
         edge_operations=edge_operations,
         converged=final_residual <= tol,
+        residual_l1=float(np.abs(residual).sum()),
     )
 
 
@@ -279,6 +288,7 @@ def sparse_forward_push(
         pushes=pushes,
         edge_operations=edge_operations,
         converged=converged,
+        residual_l1=float(np.abs(residual.data).sum()) if residual.nnz else 0.0,
     )
 
 

@@ -15,6 +15,7 @@ from repro.serving.service import (
     QueryRequest,
     QueryResponse,
     QueryService,
+    RefreshSLO,
     ServingConfig,
     StalenessConfig,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "RefreshSLO",
     "ServiceMetrics",
     "ServingConfig",
     "StalenessConfig",

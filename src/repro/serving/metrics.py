@@ -40,8 +40,12 @@ class ServiceMetrics:
         self.deadline_hits = 0
         self.stale_served = 0
         self.refreshes = 0
+        self.full_refreshes = 0
         self.deferred_refreshes = 0
         self.failed_refreshes = 0
+        # SLO-scheduled serving only: batches served stale while the
+        # staleness bound exceeded the target (budget exhausted).
+        self.slo_violations = 0
         self.batches = 0
         self.batched_queries = 0
         self._latencies: list[float] = []
@@ -119,8 +123,10 @@ class ServiceMetrics:
             "deadline_hits": self.deadline_hits,
             "stale_served": self.stale_served,
             "refreshes": self.refreshes,
+            "full_refreshes": self.full_refreshes,
             "deferred_refreshes": self.deferred_refreshes,
             "failed_refreshes": self.failed_refreshes,
+            "slo_violations": self.slo_violations,
             "batches": self.batches,
             "mean_batch_size": self.mean_batch_size,
             "p50": self.latency_percentile(50),

@@ -25,7 +25,13 @@ a long-lived serving loop over the discrete-event clock:
    dirty set is patched in-line via the incremental push path (its cost
    charged to the batch); a large one is deferred and the batch serves the
    stale cache, marked ``stale_served``, rather than blocking on a full
-   re-diffusion.
+   re-diffusion.  With ``StalenessConfig(slo=RefreshSLO(...))`` the size
+   heuristic is replaced by the SLO-driven
+   :class:`~repro.churn.RefreshScheduler`: each batch consults the
+   network's staleness *bound*, picks defer / incremental / full by fitted
+   cost within a banked edge-operation budget, and every response is
+   stamped with the bound it was served under
+   (``QueryResponse.staleness_bound``).
 
 Every submitted query resolves to exactly one :class:`QueryResponse` with
 outcome ``OK``, ``DEGRADED``, or ``REJECTED`` — never a silent drop.
@@ -41,6 +47,7 @@ from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Mapping
 
 import numpy as np
 
+from repro.churn.scheduler import RefreshCostModel, RefreshScheduler, RefreshSLO
 from repro.core.batch import run_queries
 from repro.core.engine import (
     ResilienceConfig,
@@ -69,6 +76,7 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "RefreshSLO",
     "ServingConfig",
     "StalenessConfig",
 ]
@@ -95,6 +103,7 @@ class CostModel:
     hop_cost: float = 1.0
     refresh_overhead: float = 1.0
     refresh_per_dirty: float = 0.25
+    refresh_per_node: float = 0.01
 
     def __post_init__(self) -> None:
         check_non_negative(self.batch_overhead, "batch_overhead")
@@ -102,6 +111,7 @@ class CostModel:
         check_positive(self.hop_cost, "hop_cost")
         check_non_negative(self.refresh_overhead, "refresh_overhead")
         check_non_negative(self.refresh_per_dirty, "refresh_per_dirty")
+        check_non_negative(self.refresh_per_node, "refresh_per_node")
 
 
 @dataclass(frozen=True)
@@ -113,12 +123,23 @@ class StalenessConfig:
     serves stale, marked ``stale_served``) on the grounds that blocking the
     whole batch on a near-full re-diffusion costs more than slightly stale
     routing scores.
+
+    Setting ``slo`` replaces that size heuristic with SLO-driven
+    scheduling (:class:`repro.churn.RefreshScheduler`): per batch, the
+    network's staleness *bound* is compared to ``slo.staleness_target``
+    and the cheaper of incremental/full is run when affordable within the
+    banked edge-operation budget — otherwise the batch is served stale and
+    the breach counted (``ServiceMetrics.slo_violations``).  With churn
+    absent and an unlimited-budget SLO the scheduled path makes exactly
+    the decisions the heuristic path makes (defer when clean, patch when
+    dirty), so serving results are identical — pinned by tests.
     """
 
     max_dirty_refresh: int = 64
     method: str = "push"
     tol: float = 1e-8
     max_iterations: int = 10_000
+    slo: RefreshSLO | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.max_dirty_refresh, "max_dirty_refresh")
@@ -161,6 +182,12 @@ class QueryResponse:
     started: float | None
     completed: float
     stale_served: bool = False
+    # Upper bound on the L1 error of the diffusion scores this query was
+    # routed with (0.0 when the service has no network attached; may be
+    # ``inf`` when no diffusion baseline exists).  Stamped so downstream
+    # consumers can judge a stale-served answer instead of trusting it
+    # blindly.
+    staleness_bound: float = 0.0
 
     @property
     def latency(self) -> float:
@@ -243,7 +270,29 @@ class QueryService:
         self._busy = False
         self._batch_counter = 0
         self._serving_stale = False
+        self._staleness_bound = 0.0
         self._seed = seed
+        # SLO-driven refresh scheduling (repro.churn): built only when the
+        # config opts in AND a network is attached — the scheduler needs
+        # the network's staleness bound to decide anything.
+        self.refresh_scheduler: RefreshScheduler | None = None
+        slo = self.config.staleness.slo
+        if slo is not None and network is not None:
+            model = RefreshCostModel(
+                nnz=2 * network.adjacency.n_edges,
+                alpha=network.alpha,
+                tol=self.config.staleness.tol,
+            )
+            # Seed the fit from the warm-up diffusion when one exists: its
+            # cost anchors the full price, and cost ÷ signal mass anchors
+            # the incremental rate — without this the analytic prior
+            # overprices small deltas until the first observed run.
+            warmup = network.last_diffusion
+            if warmup is not None and warmup.converged and not warmup.incremental:
+                model.observe(
+                    "full", network.diffused_signal_mass(), warmup.operations
+                )
+            self.refresh_scheduler = RefreshScheduler(slo, model)
 
     @classmethod
     def from_network(
@@ -384,6 +433,7 @@ class QueryService:
                     started=walk_start,
                     completed=completed,
                     stale_served=self._serving_stale,
+                    staleness_bound=self._staleness_bound,
                 )
             )
         self._finish_batch(busy_until)
@@ -459,17 +509,29 @@ class QueryService:
         """Patch a stale diffusion if cheap; otherwise serve stale.
 
         Returns the simulated time cost charged to the current batch and
-        updates :attr:`_serving_stale` (stamped onto the batch's responses).
+        updates :attr:`_serving_stale` and :attr:`_staleness_bound` (both
+        stamped onto the batch's responses).  With an SLO configured the
+        decision is delegated to the :class:`~repro.churn.RefreshScheduler`
+        (:meth:`_slo_refresh`); otherwise the original dirty-count
+        heuristic applies.
         """
         network = self.network
-        if network is None or not network.is_stale:
+        if network is None:
             self._serving_stale = False
+            self._staleness_bound = 0.0
+            return 0.0
+        if self.refresh_scheduler is not None:
+            return self._slo_refresh(network)
+        if not network.is_stale:
+            self._serving_stale = False
+            self._staleness_bound = network.staleness_bound()
             return 0.0
         staleness = self.config.staleness
         dirty = len(network.dirty_nodes)
         if dirty > staleness.max_dirty_refresh:
             self.metrics.deferred_refreshes += 1
             self._serving_stale = True
+            self._staleness_bound = network.staleness_bound()
             return 0.0
         try:
             outcome = network.diffuse(
@@ -484,17 +546,87 @@ class QueryService:
             # the stale cache instead.
             self.metrics.deferred_refreshes += 1
             self._serving_stale = True
+            self._staleness_bound = network.staleness_bound()
             return 0.0
         if not outcome.converged:
             self.metrics.failed_refreshes += 1
             self._serving_stale = True
+            self._staleness_bound = network.staleness_bound()
             return 0.0
         self.metrics.refreshes += 1
         self._serving_stale = False
+        self._staleness_bound = network.staleness_bound()
         # The cached embeddings changed object identity; rebuild the policy
         # view over them.
         self.policy = network.default_policy()
         cost = self.config.cost
+        return cost.refresh_overhead + cost.refresh_per_dirty * dirty
+
+    def _slo_refresh(self, network: "DiffusionSearchNetwork") -> float:
+        """SLO-scheduled refresh: one scheduler tick per served batch.
+
+        The scheduler sees the network's staleness *bound* (dirty mass +
+        accumulated push residual, an O(1) read) rather than a node count,
+        prices incremental vs full with its fitted cost model, and spends a
+        banked edge-operation budget.  Degradation is explicit: a deferral
+        over the target serves stale, stamps the bound onto the batch's
+        responses, and counts an SLO violation.
+        """
+        scheduler = self.refresh_scheduler
+        assert scheduler is not None
+        staleness = self.config.staleness
+        cost = self.config.cost
+        scheduler.tick()
+        decision = scheduler.decide(network.staleness_bound(), network.dirty_mass)
+        if decision.action == "defer":
+            stale = network.is_stale and not decision.within_slo
+            if stale:
+                self.metrics.deferred_refreshes += 1
+                self.metrics.slo_violations += 1
+            self._serving_stale = network.is_stale
+            self._staleness_bound = decision.bound
+            return 0.0
+        dirty = len(network.dirty_nodes)
+        dirty_mass = network.dirty_mass
+        try:
+            outcome = network.diffuse(
+                method=staleness.method,
+                tol=staleness.tol,
+                max_iterations=staleness.max_iterations,
+                incremental=decision.action == "incremental",
+            )
+        except ValueError:
+            # Incremental chosen but no baseline survived (e.g. a fault
+            # path cleared it between decide and diffuse): serve stale now;
+            # the next tick's decision sees bound=∞ and schedules a full.
+            self.metrics.deferred_refreshes += 1
+            self._serving_stale = True
+            self._staleness_bound = network.staleness_bound()
+            return 0.0
+        if not outcome.converged:
+            self.metrics.failed_refreshes += 1
+            self._serving_stale = True
+            self._staleness_bound = network.staleness_bound()
+            return 0.0
+        scheduler.commit(decision, outcome.operations)
+        # Feed the fit with what the run actually diffused: the pending L1
+        # mass for an incremental patch, the whole signal's mass for a full
+        # run (which also re-anchors the incremental rate if unseeded).
+        scheduler.cost_model.observe(
+            decision.action,
+            dirty_mass
+            if decision.action == "incremental"
+            else network.diffused_signal_mass(),
+            outcome.operations,
+        )
+        self.metrics.refreshes += 1
+        if decision.action == "full":
+            self.metrics.full_refreshes += 1
+        self._serving_stale = False
+        self._staleness_bound = network.staleness_bound()
+        self.policy = network.default_policy()
+        if decision.action == "full":
+            return cost.refresh_overhead + cost.refresh_per_node * network.n_nodes
         return cost.refresh_overhead + cost.refresh_per_dirty * dirty
 
     # ------------------------------------------------------------------ misc

@@ -20,8 +20,10 @@ from repro.simulation.runner import (
 )
 from repro.simulation.refresh import (
     REFRESH_STRATEGIES,
+    RefreshCostModel,
     RefreshOutcome,
     SignalRefresher,
+    check_strategy,
 )
 from repro.simulation.reporting import format_table, format_accuracy_grid, write_csv
 
@@ -40,8 +42,10 @@ __all__ = [
     "run_accuracy_experiment",
     "run_hop_count_experiment",
     "REFRESH_STRATEGIES",
+    "RefreshCostModel",
     "RefreshOutcome",
     "SignalRefresher",
+    "check_strategy",
     "format_table",
     "format_accuracy_grid",
     "write_csv",

@@ -23,20 +23,37 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.churn.scheduler import (
+    REFRESH_STRATEGIES,
+    RefreshCostModel,
+    check_strategy,
+)
 from repro.gsp.push import forward_push, push_refresh
 
-REFRESH_STRATEGIES = ("stale", "incremental", "full")
+__all__ = [
+    "REFRESH_STRATEGIES",
+    "RefreshCostModel",
+    "RefreshOutcome",
+    "SignalRefresher",
+    "check_strategy",
+]
 
 
 @dataclass(frozen=True)
 class RefreshOutcome:
-    """Refreshed scores plus the work the strategy performed."""
+    """Refreshed scores plus the work the strategy performed.
+
+    ``residual_l1`` is the L1 mass the push left un-diffused (0 for
+    ``stale``); staleness trackers add it to their error bound after an
+    incremental refresh (see :class:`repro.churn.StalenessTracker`).
+    """
 
     strategy: str
     scores: np.ndarray
     sweeps: int
     pushes: int
     edge_operations: int
+    residual_l1: float = 0.0
 
 
 class SignalRefresher:
@@ -64,6 +81,9 @@ class SignalRefresher:
         self.alpha = float(alpha)
         self.tol = float(tol)
         self.max_sweeps = int(max_sweeps)
+        self.cost_model = RefreshCostModel(
+            nnz=self.operator.nnz, alpha=self.alpha, tol=self.tol
+        )
 
     def cold_start(self, signal: np.ndarray) -> RefreshOutcome:
         """Diffuse ``signal`` from scratch (the initial warm-up)."""
@@ -74,13 +94,30 @@ class SignalRefresher:
             tol=self.tol,
             max_sweeps=self.max_sweeps,
         )
+        self.cost_model.observe(
+            "full",
+            float(np.abs(np.asarray(signal, dtype=np.float64)).sum()),
+            result.edge_operations,
+        )
         return RefreshOutcome(
             strategy="full",
             scores=result.estimate,
             sweeps=result.sweeps,
             pushes=result.pushes,
             edge_operations=result.edge_operations,
+            residual_l1=result.residual_l1,
         )
+
+    def cost_estimate(self, strategy: str, dirty_mass: float = 0.0) -> float:
+        """Predicted edge operations of ``refresh(strategy, ...)`` now.
+
+        ``dirty_mass`` is the L1 norm of the pending signal delta (what a
+        :class:`repro.churn.StalenessTracker` maintains).  Fitted from this
+        refresher's own observed runs via :class:`RefreshCostModel` — the
+        same pricing the SLO scheduler consumes, so scheduler decisions and
+        refresher accounting can never drift apart.
+        """
+        return self.cost_model.estimate(strategy, dirty_mass)
 
     def refresh(
         self,
@@ -94,6 +131,7 @@ class SignalRefresher:
         ``old_scores`` must be the diffusion of ``old_signal`` (e.g. a prior
         :meth:`cold_start`/:meth:`refresh` result).
         """
+        check_strategy(strategy)
         if strategy == "stale":
             return RefreshOutcome(
                 strategy=strategy,
@@ -104,24 +142,25 @@ class SignalRefresher:
             )
         if strategy == "full":
             return self.cold_start(new_signal)
-        if strategy == "incremental":
-            patched, result = push_refresh(
-                self.operator,
-                old_scores,
-                np.asarray(new_signal, dtype=np.float64)
-                - np.asarray(old_signal, dtype=np.float64),
-                alpha=self.alpha,
-                tol=self.tol,
-                max_sweeps=self.max_sweeps,
-            )
-            return RefreshOutcome(
-                strategy=strategy,
-                scores=patched,
-                sweeps=result.sweeps,
-                pushes=result.pushes,
-                edge_operations=result.edge_operations,
-            )
-        raise ValueError(
-            f"unknown refresh strategy {strategy!r}; "
-            f"expected one of {REFRESH_STRATEGIES}"
+        delta = np.asarray(new_signal, dtype=np.float64) - np.asarray(
+            old_signal, dtype=np.float64
+        )
+        patched, result = push_refresh(
+            self.operator,
+            old_scores,
+            delta,
+            alpha=self.alpha,
+            tol=self.tol,
+            max_sweeps=self.max_sweeps,
+        )
+        self.cost_model.observe(
+            "incremental", float(np.abs(delta).sum()), result.edge_operations
+        )
+        return RefreshOutcome(
+            strategy=strategy,
+            scores=patched,
+            sweeps=result.sweeps,
+            pushes=result.pushes,
+            edge_operations=result.edge_operations,
+            residual_l1=result.residual_l1,
         )

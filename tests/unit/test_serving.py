@@ -36,6 +36,7 @@ from repro.serving import (
     PeerCircuitBreaker,
     QueryRequest,
     QueryService,
+    RefreshSLO,
     ServiceMetrics,
     ServingConfig,
 )
@@ -524,6 +525,157 @@ class TestStaleness:
         (response,) = service.responses
         # max_batch=1 size-flushes at t=0; walk_start = 0 + refresh (3 + 1·1).
         assert response.started == pytest.approx(4.0)
+
+
+class TestSloServing:
+    """SLO-driven refresh scheduling (StalenessConfig.slo, repro.churn)."""
+
+    def slo_config(self, **slo_kwargs):
+        slo_kwargs.setdefault("staleness_target", 1e-6)
+        return ServingConfig(
+            batch=MicroBatchConfig(max_batch=4, max_wait=1.0),
+            staleness=StalenessConfig(slo=RefreshSLO(**slo_kwargs)),
+        )
+
+    def submit_all(self, service, vectors, n=8):
+        for i in range(n):
+            service.submit(
+                QueryRequest(
+                    query_id=f"q{i}",
+                    embedding=vectors[f"doc{i % len(vectors)}"],
+                    start_node=i % 40,
+                )
+            )
+        service.drain()
+
+    def test_zero_churn_unlimited_budget_identical_to_heuristic_path(self):
+        """Acceptance pin: without churn the SLO path changes nothing.
+
+        Same network state, same seed, infinite budget, no churn: the
+        scheduled path must produce bit-identical responses (results,
+        timing, staleness stamps) to the pre-existing heuristic serving.
+        """
+        def serve(config):
+            net, vectors, _ = make_network(seed=5)
+            service = make_service(net, config=config, seed=33)
+            self.submit_all(service, vectors)
+            return service
+
+        legacy = serve(
+            ServingConfig(batch=MicroBatchConfig(max_batch=4, max_wait=1.0))
+        )
+        scheduled = serve(self.slo_config())
+        assert len(legacy.responses) == len(scheduled.responses) == 8
+        for a, b in zip(legacy.responses, scheduled.responses):
+            assert a.query_id == b.query_id
+            assert a.outcome == b.outcome
+            assert a.stale_served == b.stale_served
+            assert a.staleness_bound == b.staleness_bound
+            assert a.arrival == b.arrival
+            assert a.started == b.started
+            assert a.completed == b.completed
+            assert a.result.best == b.result.best
+            assert a.result.visits == b.result.visits
+        assert scheduled.metrics.refreshes == 0
+        assert scheduled.metrics.slo_violations == 0
+
+    def test_breach_repaired_incrementally_when_cheap(self):
+        net, vectors, rng = make_network(seed=6)
+        net.place_document("late", rng.standard_normal(net.dim), 9)
+        service = make_service(net, config=self.slo_config(), seed=1)
+        assert service.refresh_scheduler is not None
+        self.submit_all(service, vectors, n=4)
+        assert service.metrics.refreshes == 1
+        assert service.metrics.full_refreshes == 0
+        assert not net.is_stale
+        assert all(not r.stale_served for r in service.responses)
+        assert service.refresh_scheduler.decisions["incremental"] == 1
+
+    def test_budget_exhausted_serves_stale_with_stamped_bound(self):
+        net, vectors, rng = make_network(seed=7)
+        net.place_document("late", rng.standard_normal(net.dim), 9)
+        service = make_service(
+            net,
+            config=self.slo_config(refresh_budget_per_tick=1.0),
+            seed=1,
+        )
+        self.submit_all(service, vectors, n=4)
+        assert net.is_stale  # never repaired: one op per tick is nothing
+        assert service.metrics.refreshes == 0
+        assert service.metrics.slo_violations >= 1
+        assert service.metrics.slo_violations == (
+            service.refresh_scheduler.slo_violations
+        )
+        for response in service.responses:
+            assert response.stale_served
+            assert response.staleness_bound > 1e-6
+            assert not math.isinf(response.staleness_bound)
+
+    def test_banked_budget_eventually_affords_repair(self):
+        net, vectors, rng = make_network(seed=8)
+        net.place_document("late", rng.standard_normal(net.dim), 9)
+        # One batch's worth of budget is too small, but the bank accrues
+        # across batches until the incremental patch is affordable.
+        dirty_cost = None
+        probe = make_service(net, config=self.slo_config(), seed=1)
+        dirty_cost = probe.refresh_scheduler.cost_model.estimate(
+            "incremental", net.dirty_mass
+        )
+        service = make_service(
+            net,
+            config=self.slo_config(
+                refresh_budget_per_tick=max(1.0, dirty_cost / 3),
+                max_banked_ticks=10.0,
+            ),
+            seed=1,
+        )
+        batches = 0
+        while net.is_stale and batches < 12:
+            self.submit_all(service, vectors, n=1)
+            batches += 1
+        assert not net.is_stale
+        assert service.metrics.refreshes == 1
+        assert service.metrics.slo_violations >= 1  # degraded while saving up
+
+    def test_within_target_serves_stale_without_violation(self):
+        net, vectors, rng = make_network(seed=9)
+        net.place_document("late", rng.standard_normal(net.dim), 9)
+        loose = ServingConfig(
+            batch=MicroBatchConfig(max_batch=4, max_wait=1.0),
+            staleness=StalenessConfig(
+                slo=RefreshSLO(staleness_target=math.inf)
+            ),
+        )
+        service = make_service(net, config=loose, seed=1)
+        self.submit_all(service, vectors, n=4)
+        assert net.is_stale  # within target: defer is the correct verdict
+        assert service.metrics.refreshes == 0
+        assert service.metrics.slo_violations == 0
+        for response in service.responses:
+            assert response.stale_served  # honest stamp even within SLO
+            assert response.staleness_bound > 0
+
+    def test_no_network_means_no_scheduler(self):
+        net, vectors, _ = make_network()
+        service = QueryService(
+            net.adjacency,
+            net.stores,
+            net.default_policy(),
+            config=self.slo_config(),
+        )
+        assert service.refresh_scheduler is None
+        service.submit(
+            QueryRequest(query_id="q", embedding=vectors["doc0"], start_node=0)
+        )
+        service.drain()
+        (response,) = service.responses
+        assert response.staleness_bound == 0.0
+
+    def test_metrics_summary_includes_slo_keys(self):
+        metrics = ServiceMetrics()
+        summary = metrics.summary()
+        assert summary["full_refreshes"] == 0
+        assert summary["slo_violations"] == 0
 
 
 class TestFaultyService:

@@ -148,3 +148,62 @@ class TestPoissonArrivals:
             poisson_arrival_times(1.0)  # neither horizon nor n
         with pytest.raises(ValueError):
             poisson_arrival_times(1.0, horizon=10.0, n=5)  # both
+
+    def test_rate_boundary_rejected(self):
+        """Rate → 0 is a degenerate process, rejected rather than hanging."""
+        with pytest.raises(ValueError, match="rate"):
+            poisson_arrival_times(0.0, n=5)
+        with pytest.raises(ValueError, match="rate"):
+            poisson_arrival_times(-1.0, horizon=10.0)
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            poisson_arrival_times(1.0, horizon=0.0)
+
+    def test_tiny_rate_long_horizon_may_be_empty(self):
+        # ~1e-6 expected arrivals: overwhelmingly an empty (but valid) array.
+        times = poisson_arrival_times(1e-8, horizon=100.0, seed=3)
+        assert times.shape == (0,)
+
+    def test_n_mode_unbounded_times(self):
+        # n-mode has no horizon clamp; exactly n arrivals however long it takes.
+        times = poisson_arrival_times(1e-3, n=4, seed=5)
+        assert times.shape == (4,)
+        assert float(times[-1]) > 100.0
+
+
+class TestChurnQueryInterleaving:
+    """Churn events and query arrivals merge deterministically on one clock."""
+
+    def run_clock(self):
+        from repro.churn import ChurnRates, ChurnStream
+        from repro.runtime.events import EventQueue
+
+        queue = EventQueue()
+        log: list[tuple[float, str]] = []
+        stream = ChurnStream(
+            12, ChurnRates(doc_add=1.0, doc_move=2.0, doc_delete=0.5), seed=21
+        )
+        stream.install(queue, lambda e: log.append((e.time, e.kind)), horizon=20.0)
+        for t in poisson_arrival_times(1.5, horizon=20.0, seed=22):
+            queue.schedule_at(float(t), lambda t=t: log.append((float(t), "query")))
+        while queue.step():
+            pass
+        return log
+
+    def test_merge_is_deterministic(self):
+        assert self.run_clock() == self.run_clock()
+
+    def test_merge_is_time_ordered_and_complete(self):
+        log = self.run_clock()
+        times = [t for t, _ in log]
+        assert times == sorted(times)
+        n_queries = sum(1 for _, kind in log if kind == "query")
+        n_churn = len(log) - n_queries
+        assert n_queries == poisson_arrival_times(1.5, horizon=20.0, seed=22).size
+        from repro.churn import ChurnRates, ChurnStream
+
+        expected = ChurnStream(
+            12, ChurnRates(doc_add=1.0, doc_move=2.0, doc_delete=0.5), seed=21
+        ).events(horizon=20.0)
+        assert n_churn == len(expected)
