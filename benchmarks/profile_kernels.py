@@ -1,0 +1,274 @@
+"""Per-phase kernel hotspot profile of the walk/push/power hot paths.
+
+The measurement the raw-speed pass is steered by: every hot-path consumer
+calls its inner loops through :mod:`repro.kernels.dispatch`, so wrapping the
+four dispatch attributes with timing shims during representative end-to-end
+workloads yields, per phase,
+
+* how much wall clock each kernel accounts for (time and call count), and
+* how much is "other" — everything outside the dispatched loops, i.e. the
+  part a JIT kernel swap cannot touch.
+
+Workload phases:
+
+* ``batch_walk``   — lockstep :func:`repro.core.batch.run_queries` over an
+  embedding-guided policy (exercises ``masked_segment_argmax`` +
+  ``sparse_key_lookup``);
+* ``dense_push``   — :func:`repro.gsp.push.forward_push` on a localized
+  delta (exercises ``scatter_add_weighted_rows``);
+* ``sparse_push``  — :func:`repro.gsp.push.sparse_forward_push` multi-column
+  cold start (exercises ``csr_row_peaks``);
+* ``pruned_power`` — :class:`repro.gsp.filters.SparsePersonalizedPageRank`
+  (the non-kernel baseline phase: pruned power iteration spends its time in
+  scipy spmatmul, which bounds what kernel work can win there).
+
+Writes ``results/kernel_profile.{txt,json}`` (``--reduced``:
+``results/kernel_profile_reduced.{txt,json}``, the CI smoke size).  The
+JSON records which kernel backend ran (``kernel_info``) so profiles from
+numpy and numba hosts never get compared silently.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_kernels.py [--reduced]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import warnings
+from collections import defaultdict
+from contextlib import contextmanager
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_REPO_ROOT), str(_REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import numpy as np
+import scipy.sparse as sp
+
+from benchmarks.conftest import emit_report, measure_peak_memory
+from repro.core.batch import run_queries
+from repro.core.engine import WalkConfig
+from repro.core.forwarding import PrecomputedScorePolicy
+from repro.core.search import DiffusionSearchNetwork
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.graphs.social import FacebookLikeConfig, facebook_like_graph
+from repro.gsp.filters import PrunedMassWarning, SparsePersonalizedPageRank
+from repro.gsp.normalization import transition_matrix
+from repro.gsp.push import forward_push, sparse_forward_push
+from repro.kernels import dispatch
+
+SEED = 23
+
+KERNEL_NAMES = (
+    "masked_segment_argmax",
+    "sparse_key_lookup",
+    "csr_row_peaks",
+    "scatter_add_weighted_rows",
+)
+
+
+class KernelTimer:
+    """Wraps the dispatch attributes; accumulates per-kernel time + calls."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = defaultdict(float)
+        self.calls: dict[str, int] = defaultdict(int)
+
+    def _wrap(self, name: str, fn):
+        def timed(*args, **kwargs):
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self.seconds[name] += time.perf_counter() - started
+                self.calls[name] += 1
+
+        return timed
+
+    @contextmanager
+    def instrumented(self):
+        originals = {name: getattr(dispatch, name) for name in KERNEL_NAMES}
+        for name, fn in originals.items():
+            setattr(dispatch, name, self._wrap(name, fn))
+        try:
+            yield self
+        finally:
+            for name, fn in originals.items():
+                setattr(dispatch, name, fn)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "seconds": self.seconds.get(name, 0.0),
+                "calls": self.calls.get(name, 0),
+            }
+            for name in KERNEL_NAMES
+        }
+
+
+def build_setting(reduced: bool):
+    n_nodes = 400 if reduced else 2000
+    target_edges = n_nodes * 11
+    dim = 32 if reduced else 96
+    n_docs = 60 if reduced else 400
+    n_queries = 60 if reduced else 400
+    graph = facebook_like_graph(
+        FacebookLikeConfig(
+            n_nodes=n_nodes, target_edges=target_edges, n_egos=8
+        ),
+        seed=SEED,
+    )
+    adjacency = CompressedAdjacency.from_networkx(graph)
+    rng = np.random.default_rng(SEED)
+    net = DiffusionSearchNetwork(graph, dim=dim, alpha=0.5)
+    for i in range(n_docs):
+        net.place_document(
+            f"doc-{i}", rng.standard_normal(dim), int(rng.integers(n_nodes))
+        )
+    net.diffuse(method="power", tol=1e-8)
+    queries = rng.standard_normal((n_queries, dim))
+    starts = rng.integers(0, n_nodes, size=n_queries)
+    return adjacency, net, queries, starts, rng
+
+
+def profile_phase(timer_factory, fn):
+    """Run ``fn`` instrumented; returns (elapsed_s, kernels_snapshot)."""
+    timer = timer_factory()
+    with timer.instrumented():
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+    return elapsed, timer.snapshot()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reduced",
+        action="store_true",
+        help="CI smoke size (writes kernel_profile_reduced.{txt,json})",
+    )
+    args = parser.parse_args(argv)
+
+    adjacency, net, queries, starts, rng = build_setting(args.reduced)
+    operator = transition_matrix(adjacency, "column")
+    n = adjacency.n_nodes
+    dim = net.dim
+    # One sparse-backed score-table policy per query (the accuracy driver's
+    # shape): scores s = E e_q as a CSR column, so the hop loop runs the
+    # fused masked_segment_argmax + sparse_key_lookup fast path.
+    emb_csr = sp.csr_matrix(net.embeddings)
+    policies = [
+        PrecomputedScorePolicy(emb_csr @ sp.csr_matrix(q.reshape(-1, 1)))
+        for q in queries
+    ]
+    config = WalkConfig(ttl=30, fanout=1, k=3)
+
+    # Localized dense delta: a handful of hot rows, the incremental-refresh
+    # shape where the scatter kernel dominates.
+    dense_delta = np.zeros((n, dim))
+    hot = rng.integers(0, n, size=8)
+    dense_delta[hot] = rng.standard_normal((hot.size, dim))
+
+    sparse_signal = net.personalization_sparse()
+    ppr = SparsePersonalizedPageRank(0.5, epsilon=1e-3, tol=1e-8)
+
+    phases = {
+        "batch_walk": lambda: run_queries(
+            adjacency, net.stores, policies, queries, starts, config, seed=SEED
+        ),
+        "dense_push": lambda: forward_push(
+            operator, dense_delta, alpha=0.5, tol=1e-8
+        ),
+        "sparse_push": lambda: sparse_forward_push(
+            operator, sparse_signal, alpha=0.5, tol=1e-6, epsilon=1e-3
+        ),
+        "pruned_power": lambda: ppr.apply_detailed(operator, sparse_signal),
+    }
+
+    # Warm once (operator caches, JIT compilation when numba is live) so the
+    # profile reflects steady state, not first-call compilation.  Pruned-mass
+    # accuracy warnings are irrelevant to a timing profile.
+    warnings.filterwarnings("ignore", category=PrunedMassWarning)
+    for fn in phases.values():
+        fn()
+
+    results: dict[str, dict] = {}
+    for phase_name, fn in phases.items():
+        elapsed, kernels = profile_phase(KernelTimer, fn)
+        kernel_total = sum(entry["seconds"] for entry in kernels.values())
+        results[phase_name] = {
+            "end_to_end_s": elapsed,
+            "kernel_s": kernel_total,
+            "other_s": max(0.0, elapsed - kernel_total),
+            "kernel_share": kernel_total / elapsed if elapsed > 0 else 0.0,
+            "kernels": kernels,
+        }
+
+    # One untimed pass under tracemalloc for the schema-required peak.
+    def _all_phases():
+        for fn in phases.values():
+            fn()
+
+    _, peak = measure_peak_memory(_all_phases)
+
+    info = dispatch.kernel_info()
+    lines = [
+        "Kernel hotspot profile (dispatch-layer instrumentation)",
+        f"mode: {'reduced (CI smoke)' if args.reduced else 'full'}; "
+        f"graph: {adjacency.n_nodes} nodes / {adjacency.n_edges} edges; "
+        f"dim {dim}; {queries.shape[0]} walks",
+        f"kernel backend: {info['backend']} "
+        f"(requested {info['requested']}, numba_available "
+        f"{info['numba_available']}, version {info['numba_version']})",
+        "",
+    ]
+    for phase_name, row in results.items():
+        lines.append(
+            f"{phase_name:13s}: {row['end_to_end_s'] * 1e3:9.2f} ms total | "
+            f"{row['kernel_s'] * 1e3:8.2f} ms in kernels "
+            f"({row['kernel_share'] * 100:5.1f}%) | "
+            f"{row['other_s'] * 1e3:8.2f} ms other"
+        )
+        for kernel_name, entry in row["kernels"].items():
+            if entry["calls"]:
+                lines.append(
+                    f"    {kernel_name:28s} {entry['seconds'] * 1e3:8.2f} ms "
+                    f"over {entry['calls']:6d} calls"
+                )
+    lines.append("")
+    lines.append(
+        "'other' = end-to-end minus dispatched-kernel time: scipy spmatmul, "
+        "slicing, allocation — the share a kernel swap cannot accelerate."
+    )
+
+    name = "kernel_profile_reduced" if args.reduced else "kernel_profile"
+    emit_report(
+        name,
+        "\n".join(lines),
+        data={
+            "criterion": "per_phase_kernel_wall_clock_breakdown",
+            "seed": SEED,
+            "peak_memory_bytes": peak,
+            "mode": "reduced" if args.reduced else "full",
+            "kernel_info": info,
+            "configuration": {
+                "n_nodes": adjacency.n_nodes,
+                "n_edges": adjacency.n_edges,
+                "dim": dim,
+                "n_queries": int(queries.shape[0]),
+                "ttl": config.ttl,
+            },
+            "phases": results,
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

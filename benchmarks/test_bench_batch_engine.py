@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from benchmarks.conftest import emit_report, measure_peak_memory
 from repro.experiments.common import full_requested
+from repro.kernels import kernel_info
 from repro.embeddings.synthetic import SyntheticCorpusConfig, synthetic_word_embeddings
 from repro.graphs.adjacency import CompressedAdjacency
 from repro.graphs.social import FacebookLikeConfig, facebook_like_graph
@@ -173,10 +174,13 @@ def test_batch_engine_speedup():
                 "batched pipeline = run_queries lockstep walks "
                 "+ one multi-column diffusion per iteration "
                 "(cached sparse-LU solve, one factorization per alpha)",
+                f"kernel backend: {kernel_info()['backend']} "
+                "(repro.kernels dispatch; numba JIT when installed)",
             ]
         ),
         data={
             "criterion": "wall_clock_speedup",
+            "kernels": kernel_info(),
             "seed": 11,  # graph seed; embeddings/workload use 12/13
             "configuration": {
                 "label": size.label,

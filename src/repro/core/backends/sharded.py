@@ -250,7 +250,11 @@ class ShardedDiffusionBackend(DiffusionBackend):
             max_iterations=max_iterations,
             seed=None,
         )
-        cached, _ = coerce_sparse_signal(embeddings, topology.n_nodes)
+        cached, _ = coerce_sparse_signal(
+            embeddings,
+            topology.n_nodes,
+            np.dtype(getattr(self.inner, "dtype", np.float64)),
+        )
         patched = (cached + correction).tocsr()
         return DiffusionOutcome(
             embeddings=patched,

@@ -51,6 +51,7 @@ from repro.core.forwarding import (
     lookup_sorted_keys,
 )
 from repro.graphs.adjacency import CompressedAdjacency
+from repro.kernels import dispatch as kernels
 from repro.retrieval.topk import TopKTracker
 from repro.retrieval.vector_store import DocumentStore
 from repro.utils.rng import RngLike, spawn_rngs
@@ -137,6 +138,17 @@ class _SparseScoreStack:
     def __init__(
         self, keys: np.ndarray, values: np.ndarray, rows: np.ndarray, n_nodes: int
     ) -> None:
+        # The composite key of stack row r, node v is r·n_nodes + v; it must
+        # fit int64 for every (row, node) pair or gathers would silently
+        # wrap around and return the wrong walk's scores.
+        max_row = int(rows.max(initial=-1)) + 1
+        if n_nodes > 0 and max_row > np.iinfo(np.int64).max // n_nodes:
+            raise OverflowError(
+                f"sparse score stack of {max_row} distinct policies over "
+                f"{n_nodes} nodes overflows the int64 composite-key space "
+                f"({max_row} * {n_nodes} > {np.iinfo(np.int64).max}); "
+                "split the batch into smaller policy groups"
+            )
         self.keys = keys
         self.values = values
         self.rows = rows
@@ -441,18 +453,9 @@ def run_queries(
                 # top_k_indices(scores, 1) per segment).
                 flat_cand = indices[flat_pos]
                 scores = stacked.gather(flat_q, flat_cand)
-                if unseen.all():
-                    pool = scores
-                else:
-                    # add.reduceat counts per segment; > 0 is a segment "any".
-                    has_unseen = np.add.reduceat(unseen, seg_starts) > 0
-                    allowed = unseen | ~has_unseen[segments]
-                    pool = np.where(allowed, scores, -np.inf)
-                best = np.maximum.reduceat(pool, seg_starts)
-                at_best = pool == best[segments]
-                size = pool.shape[0]
-                positions = np.where(at_best, iota[:size], size)
-                chosen = np.minimum.reduceat(positions, seg_starts)
+                chosen = kernels.masked_segment_argmax(
+                    scores, unseen, seg_starts, segments, iota
+                )
                 child_q = r_q
                 child_pos = flat_pos[chosen]
                 child_node = flat_cand[chosen]

@@ -17,6 +17,7 @@ import scipy.sparse as sp
 
 from repro.embeddings.similarity import dot_scores
 from repro.graphs.adjacency import CompressedAdjacency
+from repro.kernels import dispatch as kernels
 from repro.retrieval.scoring import top_k_indices
 from repro.utils import check_positive
 
@@ -31,14 +32,10 @@ def lookup_sorted_keys(
     stacked sparse score table): one ``searchsorted`` over the whole query
     array, with misses scoring *exactly* ``0.0`` — the value a densified
     copy would hold — so sparse- and dense-backed decisions stay
-    bit-identical.
+    bit-identical.  The output dtype follows ``values`` (float32 tables
+    stay float32).  Dispatched through :mod:`repro.kernels`.
     """
-    if keys.shape[0] == 0:
-        return np.zeros(wanted.shape[0], dtype=np.float64)
-    positions = np.searchsorted(keys, wanted)
-    clipped = np.minimum(positions, keys.shape[0] - 1)
-    found = keys[clipped] == wanted
-    return np.where(found, values[clipped], 0.0)
+    return kernels.sparse_key_lookup(keys, values, wanted)
 
 
 def _segment_top_k(
@@ -163,13 +160,20 @@ class EmbeddingGuidedPolicy(ForwardingPolicy):
         temperature: float = 0.0,
     ) -> None:
         if sp.issparse(embeddings):
-            matrix = embeddings.tocsr().astype(np.float64)
+            # float32 CSR caches (the float32 diffusion pipeline) are scored
+            # in float32; every other dtype coerces to float64 as before.
+            matrix = embeddings.tocsr()
+            matrix = matrix.astype(
+                np.float32 if matrix.dtype == np.float32 else np.float64
+            )
             if matrix is embeddings:
                 matrix = matrix.copy()
             matrix.sort_indices()
             self._sparse = True
         else:
-            matrix = np.asarray(embeddings, dtype=np.float64)
+            matrix = np.asarray(embeddings)
+            if matrix.dtype != np.float32:
+                matrix = np.asarray(matrix, dtype=np.float64)
             self._sparse = False
         if matrix.ndim != 2:
             raise ValueError(f"embeddings must be 2-D, got shape {matrix.shape}")
@@ -280,9 +284,14 @@ class PrecomputedScorePolicy(ForwardingPolicy):
             self.node_scores = None
             self.n_nodes = int(max(scores.shape))
             self._sparse_indices = np.asarray(column.indices, dtype=np.int64)
-            self._sparse_values = np.asarray(column.data, dtype=np.float64)
+            values = np.asarray(column.data)
+            if values.dtype != np.float32:
+                values = np.asarray(values, dtype=np.float64)
+            self._sparse_values = values
             return
-        scores = np.asarray(scores, dtype=np.float64)
+        scores = np.asarray(scores)
+        if scores.dtype != np.float32:
+            scores = np.asarray(scores, dtype=np.float64)
         if scores.ndim != 1:
             raise ValueError(f"scores must be 1-D, got shape {scores.shape}")
         self.node_scores = scores

@@ -640,10 +640,13 @@ def sharded_diffuse(
     """
     check_positive(max_rounds, "max_rounds")
     n = plan.n_nodes
-    residual, _ = coerce_sparse_signal(personalization, n)
+    # Accumulators follow the inner backend's precision (float32 inners keep
+    # the whole mailbox loop in single precision).
+    dtype = np.dtype(getattr(inner, "dtype", np.float64))
+    residual, _ = coerce_sparse_signal(personalization, n, dtype)
     dim = residual.shape[1]
     e0_l1 = float(np.abs(residual.data).sum())
-    estimate = sp.csr_matrix((n, dim), dtype=np.float64)
+    estimate = sp.csr_matrix((n, dim), dtype=dtype)
 
     owns_executor = executor is None
     if owns_executor:
@@ -679,7 +682,7 @@ def sharded_diffuse(
                     tasks.append((shard.shard_id, block.tocsr()))
             results = executor.run_round(tasks)
             round_seconds.append(tuple(r.seconds for r in results))
-            next_residual = sp.csr_matrix((n, dim), dtype=np.float64)
+            next_residual = sp.csr_matrix((n, dim), dtype=dtype)
             for result in results:  # shard-id order: deterministic merge
                 inner_iterations += result.inner_iterations
                 estimate = estimate + _scatter_rows(

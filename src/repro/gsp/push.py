@@ -23,6 +23,7 @@ decomposition used by systems like PowerWalk), which vectorizes cleanly.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,8 +32,10 @@ import scipy.sparse as sp
 from repro.gsp.filters import (
     coerce_signal,
     coerce_sparse_signal,
+    effective_tolerance,
     operator_out_degrees,
 )
+from repro.kernels import dispatch as kernels
 from repro.utils import check_positive, check_probability
 
 #: Use the row-local scatter path when the pushed columns' nonzeros are
@@ -85,6 +88,7 @@ def forward_push(
     alpha: float = 0.5,
     tol: float = 1e-8,
     max_sweeps: int = 10_000,
+    dtype: np.dtype | type = np.float64,
 ) -> PushResult:
     """Diffuse ``signal`` with the PPR filter by residual forward push.
 
@@ -104,20 +108,29 @@ def forward_push(
         ``‖H‖∞ · tol`` element-wise.
     max_sweeps:
         Cap on batched sweeps (each sweep relaxes all active rows at once).
+    dtype:
+        Residual/estimate dtype; ``float32`` runs the whole sweep (operator
+        values included) in single precision.
     """
     check_probability(alpha, "alpha")
     if alpha == 0.0:
         raise ValueError("alpha must be positive (alpha=0 never teleports)")
     check_positive(tol, "tol")
     check_positive(max_sweeps, "max_sweeps")
+    dtype = np.dtype(dtype)
+    # float32 residuals bottom out at rounding noise; floor the push
+    # threshold at the dtype's resolution (float64 passes through).
+    tol = effective_tolerance(tol, dtype)
 
     n = operator.shape[0]
-    residual, was_vector = coerce_signal(signal, n)
+    residual, was_vector = coerce_signal(signal, n, dtype)
     residual = residual.copy()
     estimate = np.zeros_like(residual)
 
     # Column view: pushing node u scatters along column u of the operator.
     columns = operator.tocsc()
+    if columns.data.dtype != dtype:
+        columns = columns.astype(dtype)
     col_degrees = np.diff(columns.indptr)
 
     damping = 1.0 - alpha
@@ -152,10 +165,8 @@ def forward_push(
             # Localized delta: touch only the scatter's support rows so a
             # small change never pays Θ(n · dim) per sweep.
             coo = sub.tocoo()
-            np.add.at(
-                residual,
-                coo.row,
-                (damping * coo.data)[:, None] * pushed[coo.col],
+            kernels.scatter_add_weighted_rows(
+                residual, coo.row, coo.col, coo.data, pushed, damping
             )
             touched = np.unique(np.concatenate((active, coo.row)))
             row_peak[touched] = np.max(np.abs(residual[touched]), axis=1)
@@ -180,12 +191,32 @@ def forward_push(
 
 def _row_peaks(matrix: sp.csr_matrix) -> tuple[np.ndarray, np.ndarray]:
     """Max-abs entry per nonempty row: ``(row_ids, peaks)``."""
-    lens = np.diff(matrix.indptr)
-    rows = np.flatnonzero(lens)
-    if rows.size == 0:
-        return rows, np.empty(0, dtype=np.float64)
-    peaks = np.maximum.reduceat(np.abs(matrix.data), matrix.indptr[rows])
-    return rows, peaks
+    return kernels.csr_row_peaks(matrix.data, matrix.indptr)
+
+
+def _merge_block_results(
+    blocks: list[PushResult], n: int, dim: int, dtype: np.dtype
+) -> PushResult:
+    """Combine per-column-block push results into one ``(n, dim)`` outcome.
+
+    Columns diffuse independently (pushing a row relaxes all of *its block's*
+    columns at once, and blocks never interact), so the merged estimate is an
+    ``hstack`` and the work counters add.  ``sweeps``/``residual`` report the
+    slowest/worst block — the quantities convergence decisions key on.
+    """
+    estimate = sp.hstack([b.estimate for b in blocks], format="csr")
+    estimate.sort_indices()
+    if estimate.dtype != dtype:
+        estimate = estimate.astype(dtype)
+    return PushResult(
+        estimate=estimate,
+        residual=max(b.residual for b in blocks),
+        sweeps=max(b.sweeps for b in blocks),
+        pushes=sum(b.pushes for b in blocks),
+        edge_operations=sum(b.edge_operations for b in blocks),
+        converged=all(b.converged for b in blocks),
+        residual_l1=sum(b.residual_l1 for b in blocks),
+    )
 
 
 def sparse_forward_push(
@@ -196,6 +227,8 @@ def sparse_forward_push(
     tol: float = 1e-8,
     epsilon: float = 0.0,
     max_sweeps: int = 10_000,
+    dtype: np.dtype | type = np.float64,
+    n_jobs: int = 1,
 ) -> PushResult:
     """Multi-column Forward Push keeping estimate and residual in CSR form.
 
@@ -212,6 +245,15 @@ def sparse_forward_push(
     residual is abandoned, trading bounded accuracy for locality.  With
     ``epsilon=0`` the kernel converges to the same ``tol`` criterion as the
     dense :func:`forward_push`.
+
+    ``dtype=float32`` runs residual, estimate, and operator values in single
+    precision.  ``n_jobs > 1`` splits the signal's columns into contiguous
+    blocks pushed concurrently on a thread pool (columns never interact —
+    only the *activation* of a row couples them, so each block converges to
+    the same per-entry ``max(tol, ε·d(u))`` criterion; ``n_jobs=1`` is
+    bit-identical to the historical single-block sweep).  Thread parallelism
+    pays off on multi-core hosts, especially with the ``nogil`` JIT kernels
+    of :mod:`repro.kernels` active.
     """
     check_probability(alpha, "alpha")
     if alpha == 0.0:
@@ -220,10 +262,39 @@ def sparse_forward_push(
     if epsilon < 0:
         raise ValueError(f"epsilon must be >= 0, got {epsilon}")
     check_positive(max_sweeps, "max_sweeps")
+    check_positive(n_jobs, "n_jobs")
+    dtype = np.dtype(dtype)
+    # float32 residuals bottom out at rounding noise; floor the push
+    # threshold at the dtype's resolution (float64 passes through).
+    tol = effective_tolerance(tol, dtype)
 
     n = operator.shape[0]
-    residual, _ = coerce_sparse_signal(signal, n)
+    residual, _ = coerce_sparse_signal(signal, n, dtype)
     dim = residual.shape[1]
+    if n_jobs > 1 and dim > 1:
+        blocks = min(int(n_jobs), dim)
+        bounds = np.linspace(0, dim, blocks + 1).astype(np.int64)
+        columns = operator.tocsc()
+
+        def _push_block(lo: int, hi: int) -> PushResult:
+            return sparse_forward_push(
+                columns,
+                residual[:, lo:hi].tocsr(),
+                alpha=alpha,
+                tol=tol,
+                epsilon=epsilon,
+                max_sweeps=max_sweeps,
+                dtype=dtype,
+                n_jobs=1,
+            )
+
+        with ThreadPoolExecutor(max_workers=blocks) as pool:
+            results = list(
+                pool.map(
+                    _push_block, bounds[:-1].tolist(), bounds[1:].tolist()
+                )
+            )
+        return _merge_block_results(results, n, dim, dtype)
     # Per-sweep (rows, cols, values) contributions to the estimate; summed
     # into one CSR matrix after the loop (nothing reads the estimate
     # mid-loop, and rebuilding it per sweep would cost O(sweeps x nnz)).
@@ -233,6 +304,8 @@ def sparse_forward_push(
 
     columns = operator.tocsc()
     col_degrees = operator_out_degrees(columns)
+    if columns.data.dtype != dtype:
+        columns = columns.astype(dtype)
     thresholds = np.maximum(tol, epsilon * col_degrees.astype(np.float64))
 
     damping = 1.0 - alpha
@@ -279,7 +352,7 @@ def sparse_forward_push(
             shape=(n, dim),
         )  # the COO constructor sums duplicate (row, col) contributions
     else:
-        estimate = sp.csr_matrix((n, dim), dtype=np.float64)
+        estimate = sp.csr_matrix((n, dim), dtype=dtype)
     estimate.sort_indices()
     return PushResult(
         estimate=estimate,
@@ -301,17 +374,21 @@ def sparse_push_refresh(
     tol: float = 1e-8,
     epsilon: float = 0.0,
     max_sweeps: int = 10_000,
+    dtype: np.dtype | type = np.float64,
+    n_jobs: int = 1,
 ) -> tuple[sp.csr_matrix, PushResult]:
     """Patch a CSR diffusion cache after a sparse personalization change.
 
     The sparse counterpart of :func:`push_refresh`: given CSR (or dense)
     ``embeddings ≈ H E0`` and a mostly-zero ``delta = E0' − E0``, returns
     ``(embeddings + H delta, push_result)`` with everything kept in CSR form
-    — the patched cache never densifies.
+    — the patched cache never densifies.  ``dtype`` and ``n_jobs`` are
+    forwarded to :func:`sparse_forward_push`.
     """
     n = operator.shape[0]
-    base, _ = coerce_sparse_signal(embeddings, n)
-    delta_matrix, _ = coerce_sparse_signal(delta, n)
+    dtype = np.dtype(dtype)
+    base, _ = coerce_sparse_signal(embeddings, n, dtype)
+    delta_matrix, _ = coerce_sparse_signal(delta, n, dtype)
     if base.shape != delta_matrix.shape:
         raise ValueError(
             f"embeddings shape {base.shape} does not match "
@@ -324,6 +401,8 @@ def sparse_push_refresh(
         tol=tol,
         epsilon=epsilon,
         max_sweeps=max_sweeps,
+        dtype=dtype,
+        n_jobs=n_jobs,
     )
     patched = (base + result.estimate).tocsr()
     patched.sort_indices()

@@ -1,0 +1,127 @@
+"""Numba JIT twins of the reference kernels (strictly optional dependency).
+
+Importing this module never fails: when numba is absent
+``NUMBA_AVAILABLE`` is ``False`` and the module defines no kernels — the
+dispatcher (:mod:`repro.kernels.dispatch`) then stays on the numpy
+reference path.  When numba is present, each public function matches its
+:mod:`repro.kernels.reference` twin's signature and semantics exactly:
+bit-identical outputs in float64 (the loops accumulate the same values the
+vectorized reference does — max/compare/copy operations, no re-ordered
+float summation), dtype-preserving in float32.
+
+All JIT loops release the GIL (``nogil=True``) so the thread-parallel
+multi-source push in :func:`repro.gsp.push.sparse_forward_push` scales with
+cores once compiled, and use ``cache=True`` so compilation is paid once per
+machine, not once per process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - the numpy-only container path
+    njit = None
+    NUMBA_AVAILABLE = False
+
+NUMBA_VERSION: str | None = None
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    NUMBA_VERSION = getattr(numba, "__version__", "unknown")
+
+    @njit(cache=True, nogil=True)
+    def _segment_argmax_fill(scores, unseen, seg_starts, out):
+        n_seg = seg_starts.shape[0]
+        total = scores.shape[0]
+        for s in range(n_seg):
+            lo = seg_starts[s]
+            hi = seg_starts[s + 1] if s + 1 < n_seg else total
+            any_unseen = False
+            for i in range(lo, hi):
+                if unseen[i]:
+                    any_unseen = True
+                    break
+            best = -np.inf
+            best_pos = lo
+            for i in range(lo, hi):
+                if any_unseen and not unseen[i]:
+                    continue
+                v = scores[i]
+                if v > best:  # strict: first position wins ties
+                    best = v
+                    best_pos = i
+            out[s] = best_pos
+
+    def masked_segment_argmax(scores, unseen, seg_starts, segments, iota):
+        out = np.empty(seg_starts.shape[0], dtype=np.int64)
+        _segment_argmax_fill(
+            scores, unseen, np.asarray(seg_starts, dtype=np.int64), out
+        )
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _key_lookup_fill(keys, values, wanted, out):
+        n = keys.shape[0]
+        for i in range(wanted.shape[0]):
+            w = wanted[i]
+            lo = 0
+            hi = n
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if keys[mid] < w:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < n and keys[lo] == w:
+                out[i] = values[lo]
+
+    def sparse_key_lookup(keys, values, wanted):
+        out = np.zeros(wanted.shape[0], dtype=values.dtype)
+        if keys.shape[0]:
+            _key_lookup_fill(keys, values, np.asarray(wanted, dtype=np.int64), out)
+        return out
+
+    @njit(cache=True, nogil=True)
+    def _row_peaks_fill(data, indptr, rows, peaks):
+        for k in range(rows.shape[0]):
+            lo = indptr[rows[k]]
+            hi = indptr[rows[k] + 1]
+            m = abs(data[lo])
+            for i in range(lo + 1, hi):
+                v = abs(data[i])
+                if v > m:
+                    m = v
+            peaks[k] = m
+
+    def csr_row_peaks(data, indptr):
+        lens = np.diff(indptr)
+        rows = np.flatnonzero(lens)
+        peaks = np.empty(rows.shape[0], dtype=data.dtype)
+        if rows.shape[0]:
+            _row_peaks_fill(data, np.asarray(indptr, dtype=np.int64), rows, peaks)
+        return rows, peaks
+
+    @njit(cache=True, nogil=True)
+    def _scatter_fill(residual, rows, cols, data, pushed, damping):
+        dim = residual.shape[1]
+        for k in range(rows.shape[0]):
+            r = rows[k]
+            c = cols[k]
+            w = damping * data[k]
+            for j in range(dim):
+                residual[r, j] += w * pushed[c, j]
+
+    def scatter_add_weighted_rows(residual, rows, cols, data, pushed, damping):
+        _scatter_fill(
+            residual,
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            data,
+            pushed,
+            float(damping),
+        )

@@ -1,0 +1,118 @@
+"""Capability dispatch between the numpy reference kernels and numba twins.
+
+Selection happens once, lazily, on first kernel call:
+
+* ``REPRO_KERNELS=auto`` (default) — use the numba twins when numba imports
+  cleanly, the numpy reference otherwise.
+* ``REPRO_KERNELS=numpy`` — force the reference path even with numba
+  installed (bit-for-bit today's behavior; also what equivalence tests pin
+  against).
+* ``REPRO_KERNELS=numba`` — require the JIT path; raises ``RuntimeError``
+  at first kernel call when numba is not importable, so a deployment that
+  budgeted for JIT speed fails loudly instead of silently running 10× slower.
+
+Consumers call through the module attributes (``kernels.masked_segment_argmax``
+etc.) so profiling/instrumentation can wrap them, and so ``reset()`` (tests,
+env changes) takes effect without re-importing the world.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.kernels import reference
+
+__all__ = [
+    "csr_row_peaks",
+    "kernel_info",
+    "masked_segment_argmax",
+    "reset",
+    "scatter_add_weighted_rows",
+    "sparse_key_lookup",
+]
+
+_CHOICES = ("auto", "numba", "numpy")
+
+#: Resolved (backend_name, implementation_module); None until first use.
+_resolved: tuple[str, Any] | None = None
+
+
+def _requested() -> str:
+    value = os.environ.get("REPRO_KERNELS", "auto").strip().lower() or "auto"
+    if value not in _CHOICES:
+        raise ValueError(
+            f"REPRO_KERNELS must be one of {_CHOICES}, got {value!r}"
+        )
+    return value
+
+
+def _load_numba_module() -> Any | None:
+    """The numba twin module, or None when numba is not importable."""
+    try:
+        from repro.kernels import _numba
+    except Exception:  # pragma: no cover - defensive: module import is cheap
+        return None
+    return _numba if _numba.NUMBA_AVAILABLE else None
+
+
+def _resolve() -> tuple[str, Any]:
+    global _resolved
+    if _resolved is None:
+        requested = _requested()
+        impl = None
+        if requested in ("auto", "numba"):
+            impl = _load_numba_module()
+            if impl is None and requested == "numba":
+                raise RuntimeError(
+                    "REPRO_KERNELS=numba but numba is not importable; "
+                    "install numba or unset REPRO_KERNELS"
+                )
+        _resolved = ("numba", impl) if impl is not None else ("numpy", reference)
+    return _resolved
+
+
+def reset() -> None:
+    """Drop the resolved backend so the next call re-reads ``REPRO_KERNELS``."""
+    global _resolved
+    _resolved = None
+
+
+def kernel_info() -> dict[str, Any]:
+    """Which kernel implementation is live (for reports and benchmarks)."""
+    backend, _ = _resolve()
+    numba_module = _load_numba_module()
+    return {
+        "backend": backend,
+        "requested": _requested(),
+        "numba_available": numba_module is not None,
+        "numba_version": (
+            getattr(numba_module, "NUMBA_VERSION", None) if numba_module else None
+        ),
+    }
+
+
+def masked_segment_argmax(scores, unseen, seg_starts, segments, iota):
+    return _resolve()[1].masked_segment_argmax(
+        scores, unseen, seg_starts, segments, iota
+    )
+
+
+def sparse_key_lookup(keys, values, wanted):
+    return _resolve()[1].sparse_key_lookup(keys, values, wanted)
+
+
+def csr_row_peaks(data, indptr):
+    return _resolve()[1].csr_row_peaks(data, indptr)
+
+
+def scatter_add_weighted_rows(residual, rows, cols, data, pushed, damping):
+    return _resolve()[1].scatter_add_weighted_rows(
+        residual, rows, cols, data, pushed, damping
+    )
+
+
+masked_segment_argmax.__doc__ = reference.masked_segment_argmax.__doc__
+sparse_key_lookup.__doc__ = reference.sparse_key_lookup.__doc__
+csr_row_peaks.__doc__ = reference.csr_row_peaks.__doc__
+scatter_add_weighted_rows.__doc__ = reference.scatter_add_weighted_rows.__doc__

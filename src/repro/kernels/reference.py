@@ -1,0 +1,115 @@
+"""Pure-numpy reference kernels: the canonical hot-loop implementations.
+
+Every function here is a verbatim extraction of an inner loop that used to
+live inline in ``repro.core.batch``, ``repro.core.forwarding`` or
+``repro.gsp.push`` — moved behind :mod:`repro.kernels.dispatch` so a JIT
+twin (:mod:`repro.kernels._numba`) can replace it when numba is installed.
+These are the *reference* semantics: the dispatch layer falls back to them
+whenever numba is absent, and ``tests/unit/test_kernels.py`` pins the JIT
+twins bit-identical (float64) or tolerance-bounded (float32) against them.
+
+Do not "optimize" these in ways that change a single output bit: the batch
+walk engine's equivalence contract with the scalar engine, and the sparse
+scoring paths' equivalence with their densified counterparts, are proven
+through these exact operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "csr_row_peaks",
+    "masked_segment_argmax",
+    "scatter_add_weighted_rows",
+    "sparse_key_lookup",
+]
+
+
+def masked_segment_argmax(
+    scores: np.ndarray,
+    unseen: np.ndarray,
+    seg_starts: np.ndarray,
+    segments: np.ndarray,
+    iota: np.ndarray,
+) -> np.ndarray:
+    """Per-segment argmax of ``scores`` restricted to unseen candidates.
+
+    The fused per-hop selection of the batch walk engine: ``scores`` holds
+    one concatenated candidate segment per walk (``seg_starts`` are the
+    segment starts, ``segments`` the flat→segment map, ``iota`` an int64
+    arange scratch at least as long as ``scores``).  A segment with at least
+    one unseen candidate selects only among its unseen ones; a segment whose
+    candidates were all visited falls back to the full pool (the paper's
+    footnote-9 reset).  Ties break toward the first position — exactly
+    ``top_k_indices(scores, 1)`` per segment.  Returns one flat index into
+    ``scores`` per segment.  Segments must be non-empty and scores finite
+    (``-inf`` is the masking sentinel).
+    """
+    if unseen.all():
+        pool = scores
+    else:
+        # add.reduceat counts per segment; > 0 is a segment "any".
+        has_unseen = np.add.reduceat(unseen, seg_starts) > 0
+        allowed = unseen | ~has_unseen[segments]
+        pool = np.where(allowed, scores, -np.inf)
+    best = np.maximum.reduceat(pool, seg_starts)
+    at_best = pool == best[segments]
+    size = pool.shape[0]
+    positions = np.where(at_best, iota[:size], size)
+    return np.minimum.reduceat(positions, seg_starts)
+
+
+def sparse_key_lookup(
+    keys: np.ndarray, values: np.ndarray, wanted: np.ndarray
+) -> np.ndarray:
+    """Gather ``values`` of sorted ``keys`` at ``wanted``; absent keys → 0.0.
+
+    The CSR-lookup kernel behind
+    :func:`repro.core.forwarding.lookup_sorted_keys`: one ``searchsorted``
+    over the whole query array, with misses scoring *exactly* ``0.0`` — the
+    value a densified copy would hold.  The output dtype follows ``values``
+    (float32 score tables stay float32).
+    """
+    if keys.shape[0] == 0:
+        return np.zeros(wanted.shape[0], dtype=values.dtype)
+    positions = np.searchsorted(keys, wanted)
+    clipped = np.minimum(positions, keys.shape[0] - 1)
+    found = keys[clipped] == wanted
+    return np.where(found, values[clipped], 0.0)
+
+
+def csr_row_peaks(
+    data: np.ndarray, indptr: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Max-abs entry per non-empty CSR row: ``(row_ids, peaks)``.
+
+    The forward-push activation scan (``repro.gsp.push``): ``data``/``indptr``
+    are a CSR matrix's arrays; rows with no stored entries are skipped
+    entirely, so the cost tracks the residual's support.
+    """
+    lens = np.diff(indptr)
+    rows = np.flatnonzero(lens)
+    if rows.size == 0:
+        return rows, np.empty(0, dtype=data.dtype)
+    peaks = np.maximum.reduceat(np.abs(data), indptr[rows])
+    return rows, peaks
+
+
+def scatter_add_weighted_rows(
+    residual: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    data: np.ndarray,
+    pushed: np.ndarray,
+    damping: float,
+) -> None:
+    """In-place ``residual[rows] += damping * data[:, None] * pushed[cols]``.
+
+    The localized scatter of the dense forward-push sweep: one COO entry
+    ``(rows[k], cols[k], data[k])`` of the sliced operator forwards
+    ``damping · data[k] · pushed[cols[k]]`` onto residual row ``rows[k]``.
+    ``np.add.at`` handles duplicate target rows (unbuffered accumulation) —
+    the part a JIT loop beats by an order of magnitude.
+    """
+    np.add.at(residual, rows, (damping * data)[:, None] * pushed[cols])

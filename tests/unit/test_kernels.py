@@ -1,0 +1,504 @@
+"""Tests for the kernel acceleration layer (``repro.kernels``).
+
+Covers the four dispatch-layer contracts:
+
+* resolution — ``REPRO_KERNELS`` honored, numba-absent fallback to the
+  numpy reference, forced-numba failing loudly;
+* reference semantics — each kernel bit-identical to the inline numpy it
+  was extracted from (a scalar re-derivation here);
+* numba equivalence — JIT twins bit-identical (float64) / tolerance-bounded
+  (float32) against the reference (skipped when numba is absent);
+* the float32 pipeline and thread-parallel push built on top of them.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.batch import _SparseScoreStack
+from repro.core.forwarding import (
+    EmbeddingGuidedPolicy,
+    PrecomputedScorePolicy,
+    lookup_sorted_keys,
+)
+from repro.core.search import DiffusionSearchNetwork
+from repro.core.backends.sparse import SparseDiffusionBackend
+from repro.graphs.adjacency import CompressedAdjacency
+from repro.graphs.generators import connected_watts_strogatz
+from repro.gsp.filters import SparsePersonalizedPageRank, coerce_sparse_signal
+from repro.gsp.normalization import transition_matrix
+from repro.gsp.push import forward_push, sparse_forward_push, sparse_push_refresh
+from repro.kernels import dispatch, reference
+from repro.kernels._numba import NUMBA_AVAILABLE
+
+needs_numba = pytest.mark.skipif(not NUMBA_AVAILABLE, reason="numba not installed")
+
+
+@pytest.fixture(autouse=True)
+def _reset_dispatch(monkeypatch):
+    """Each test sees a fresh resolution honoring its own env tweaks."""
+    dispatch.reset()
+    yield
+    dispatch.reset()
+
+
+@pytest.fixture(scope="module")
+def operator():
+    adjacency = CompressedAdjacency.from_networkx(
+        connected_watts_strogatz(60, 4, 0.2, seed=11)
+    )
+    return transition_matrix(adjacency, "column")
+
+
+def _argmax_cases(rng, n_cases=50):
+    """Randomized (scores, unseen, seg_starts, segments) segment layouts."""
+    for _ in range(n_cases):
+        n_seg = int(rng.integers(1, 8))
+        lens = rng.integers(1, 6, size=n_seg)
+        seg_starts = np.concatenate(([0], np.cumsum(lens)[:-1])).astype(np.int64)
+        total = int(lens.sum())
+        segments = np.repeat(np.arange(n_seg, dtype=np.int64), lens)
+        # Duplicate score values force tie-breaks; some segments all-seen.
+        scores = rng.choice([-1.0, 0.0, 0.25, 0.25, 1.0], size=total)
+        unseen = rng.random(total) < rng.choice([0.0, 0.3, 0.8, 1.0])
+        yield scores, unseen, seg_starts, segments
+
+
+def _argmax_scalar(scores, unseen, seg_starts, segments):
+    """Straight-line per-segment re-derivation of the selection contract."""
+    n_seg = seg_starts.shape[0]
+    out = np.empty(n_seg, dtype=np.int64)
+    bounds = np.append(seg_starts, scores.shape[0])
+    for s in range(n_seg):
+        lo, hi = int(bounds[s]), int(bounds[s + 1])
+        pool = [
+            (scores[i], i)
+            for i in range(lo, hi)
+            if unseen[i] or not unseen[lo:hi].any()
+        ]
+        best = max(v for v, _ in pool)
+        out[s] = min(i for v, i in pool if v == best)
+    return out
+
+
+class TestDispatchResolution:
+    def test_numpy_fallback_when_numba_absent(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "_load_numba_module", lambda: None)
+        info = dispatch.kernel_info()
+        assert info["backend"] == "numpy"
+        assert info["numba_available"] is False
+        assert info["numba_version"] is None
+
+    def test_forced_numba_without_numba_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "numba")
+        monkeypatch.setattr(dispatch, "_load_numba_module", lambda: None)
+        with pytest.raises(RuntimeError, match="numba is not importable"):
+            dispatch.csr_row_peaks(np.ones(1), np.array([0, 1]))
+
+    def test_forced_numpy_ignores_numba(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        assert dispatch.kernel_info()["backend"] == "numpy"
+
+    def test_invalid_choice_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "turbo")
+        with pytest.raises(ValueError, match="REPRO_KERNELS"):
+            dispatch.kernel_info()
+
+    def test_reset_rereads_environment(self, monkeypatch):
+        assert dispatch.kernel_info()["backend"] in ("numpy", "numba")
+        monkeypatch.setenv("REPRO_KERNELS", "turbo")
+        # Resolution is cached: the bad env is invisible until reset().
+        dispatch.csr_row_peaks(np.ones(1), np.array([0, 1]))
+        dispatch.reset()
+        with pytest.raises(ValueError):
+            dispatch.csr_row_peaks(np.ones(1), np.array([0, 1]))
+
+    def test_fallback_results_match_reference(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "_load_numba_module", lambda: None)
+        rng = np.random.default_rng(0)
+        for scores, unseen, seg_starts, segments in _argmax_cases(rng, 5):
+            iota = np.arange(scores.shape[0], dtype=np.int64)
+            assert np.array_equal(
+                dispatch.masked_segment_argmax(
+                    scores, unseen, seg_starts, segments, iota
+                ),
+                reference.masked_segment_argmax(
+                    scores, unseen, seg_starts, segments, iota
+                ),
+            )
+
+
+class TestReferenceKernels:
+    def test_masked_segment_argmax_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        for scores, unseen, seg_starts, segments in _argmax_cases(rng):
+            iota = np.arange(scores.shape[0], dtype=np.int64)
+            got = reference.masked_segment_argmax(
+                scores, unseen, seg_starts, segments, iota
+            )
+            want = _argmax_scalar(scores, unseen, seg_starts, segments)
+            assert np.array_equal(got, want)
+
+    def test_sparse_key_lookup_matches_dense_gather(self):
+        rng = np.random.default_rng(2)
+        keys = np.unique(rng.integers(0, 200, size=40)).astype(np.int64)
+        values = rng.standard_normal(keys.shape[0])
+        wanted = rng.integers(0, 200, size=120).astype(np.int64)
+        dense = np.zeros(200)
+        dense[keys] = values
+        got = reference.sparse_key_lookup(keys, values, wanted)
+        assert np.array_equal(got, dense[wanted])
+
+    def test_sparse_key_lookup_empty_keys(self):
+        got = reference.sparse_key_lookup(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float32),
+            np.array([3, 7], dtype=np.int64),
+        )
+        assert got.dtype == np.float32
+        assert np.array_equal(got, np.zeros(2, dtype=np.float32))
+
+    def test_csr_row_peaks_matches_dense_scan(self):
+        rng = np.random.default_rng(3)
+        matrix = sp.random(30, 7, density=0.2, random_state=4, format="csr")
+        rows, peaks = reference.csr_row_peaks(matrix.data, matrix.indptr)
+        dense = np.abs(matrix.toarray()).max(axis=1)
+        lens = np.diff(matrix.indptr)
+        assert np.array_equal(rows, np.flatnonzero(lens))
+        assert np.array_equal(peaks, dense[rows])
+
+    def test_csr_row_peaks_empty(self):
+        empty = sp.csr_matrix((5, 3))
+        rows, peaks = reference.csr_row_peaks(empty.data, empty.indptr)
+        assert rows.size == 0 and peaks.size == 0
+
+    def test_scatter_matches_explicit_loop(self):
+        rng = np.random.default_rng(4)
+        residual = rng.standard_normal((12, 5))
+        want = residual.copy()
+        rows = rng.integers(0, 12, size=30).astype(np.int64)
+        cols = rng.integers(0, 12, size=30).astype(np.int64)
+        data = rng.standard_normal(30)
+        pushed = rng.standard_normal((12, 5))
+        for r, c, w in zip(rows, cols, data):
+            want[r] += 0.5 * w * pushed[c]
+        reference.scatter_add_weighted_rows(
+            residual, rows, cols, data, pushed, 0.5
+        )
+        assert np.allclose(residual, want, atol=1e-12)
+
+
+@needs_numba
+class TestNumbaEquivalence:
+    """JIT twins vs reference: bit-identical float64, bounded float32."""
+
+    def test_masked_segment_argmax(self):
+        from repro.kernels import _numba
+
+        rng = np.random.default_rng(5)
+        for scores, unseen, seg_starts, segments in _argmax_cases(rng):
+            iota = np.arange(scores.shape[0], dtype=np.int64)
+            assert np.array_equal(
+                _numba.masked_segment_argmax(
+                    scores, unseen, seg_starts, segments, iota
+                ),
+                reference.masked_segment_argmax(
+                    scores, unseen, seg_starts, segments, iota
+                ),
+            )
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_sparse_key_lookup(self, dtype):
+        from repro.kernels import _numba
+
+        rng = np.random.default_rng(6)
+        keys = np.unique(rng.integers(0, 500, size=80)).astype(np.int64)
+        values = rng.standard_normal(keys.shape[0]).astype(dtype)
+        wanted = rng.integers(0, 500, size=300).astype(np.int64)
+        got = _numba.sparse_key_lookup(keys, values, wanted)
+        want = reference.sparse_key_lookup(keys, values, wanted)
+        assert got.dtype == want.dtype == dtype
+        assert np.array_equal(got, want)  # pure gather: exact in both dtypes
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_csr_row_peaks(self, dtype):
+        from repro.kernels import _numba
+
+        matrix = sp.random(50, 9, density=0.15, random_state=7, format="csr")
+        data = matrix.data.astype(dtype)
+        got_rows, got_peaks = _numba.csr_row_peaks(data, matrix.indptr)
+        want_rows, want_peaks = reference.csr_row_peaks(data, matrix.indptr)
+        assert np.array_equal(got_rows, want_rows)
+        assert np.array_equal(got_peaks, want_peaks)  # max is exact
+
+    def test_scatter_add_weighted_rows_float64(self):
+        from repro.kernels import _numba
+
+        rng = np.random.default_rng(8)
+        rows = rng.integers(0, 20, size=60).astype(np.int64)
+        cols = rng.integers(0, 20, size=60).astype(np.int64)
+        data = rng.standard_normal(60)
+        pushed = rng.standard_normal((20, 4))
+        got = rng.standard_normal((20, 4))
+        want = got.copy()
+        _numba.scatter_add_weighted_rows(got, rows, cols, data, pushed, 0.6)
+        reference.scatter_add_weighted_rows(want, rows, cols, data, pushed, 0.6)
+        assert np.array_equal(got, want)
+
+    def test_push_end_to_end_matches_numpy_backend(self, operator, monkeypatch):
+        """Whole-kernel check: forward_push under numba == under numpy."""
+        rng = np.random.default_rng(9)
+        signal = rng.standard_normal((60, 5))
+        monkeypatch.setenv("REPRO_KERNELS", "numba")
+        dispatch.reset()
+        jit = forward_push(operator, signal, alpha=0.4, tol=1e-10)
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        dispatch.reset()
+        ref = forward_push(operator, signal, alpha=0.4, tol=1e-10)
+        assert np.array_equal(jit.estimate, ref.estimate)
+        assert jit.sweeps == ref.sweeps
+
+
+class TestCompositeKeyOverflowGuard:
+    def test_oversized_stack_fails_loudly(self):
+        huge = np.int64(2) ** 40
+        with pytest.raises(OverflowError, match="composite-key space"):
+            _SparseScoreStack(
+                np.array([0], dtype=np.int64),
+                np.array([1.0]),
+                np.array([huge], dtype=np.int64),
+                n_nodes=int(huge),
+            )
+
+    def test_normal_stack_unaffected(self):
+        stack = _SparseScoreStack(
+            np.array([0, 3], dtype=np.int64),
+            np.array([1.0, 2.0]),
+            np.array([0], dtype=np.int64),
+            n_nodes=3,
+        )
+        got = stack.gather(np.array([0, 0]), np.array([0, 1]))
+        assert np.array_equal(got, np.array([1.0, 0.0]))
+
+
+class TestFloat32Pipeline:
+    def test_coercers_honor_dtype(self):
+        dense, _ = coerce_sparse_signal(np.ones((4, 2)), 4, np.float32)
+        assert dense.dtype == np.float32
+
+    def test_filter_dtype_validation(self):
+        with pytest.raises(ValueError, match="float32 or float64"):
+            SparsePersonalizedPageRank(0.5, dtype=np.float16)
+
+    def test_backend_dtype_validation(self):
+        with pytest.raises(ValueError, match="float32 or float64"):
+            SparseDiffusionBackend(dtype=np.int32)
+        with pytest.raises(ValueError, match="n_jobs"):
+            SparseDiffusionBackend(n_jobs=0)
+
+    def test_facade_dtype_validation(self):
+        graph = connected_watts_strogatz(10, 4, 0.2, seed=1)
+        with pytest.raises(ValueError, match="float32 or float64"):
+            DiffusionSearchNetwork(graph, dim=3, dtype=np.float16)
+
+    def test_sparse_filter_float32_cache(self, operator):
+        rng = np.random.default_rng(10)
+        signal = sp.csr_matrix(
+            np.where(rng.random((60, 4)) < 0.1, rng.standard_normal((60, 4)), 0.0)
+        )
+        ppr32 = SparsePersonalizedPageRank(0.5, epsilon=0.0, dtype=np.float32)
+        ppr64 = SparsePersonalizedPageRank(0.5, epsilon=0.0, dtype=np.float64)
+        out32 = ppr32.apply_detailed(operator, signal).signal
+        out64 = ppr64.apply_detailed(operator, signal).signal
+        assert out32.dtype == np.float32
+        assert out64.dtype == np.float64
+        dense32 = np.asarray(out32.todense(), dtype=np.float64)
+        dense64 = np.asarray(out64.todense())
+        assert np.allclose(dense32, dense64, atol=5e-5)
+
+    def test_forward_push_float32(self, operator):
+        rng = np.random.default_rng(11)
+        signal = rng.standard_normal((60, 3))
+        out32 = forward_push(operator, signal, alpha=0.4, tol=1e-5, dtype=np.float32)
+        out64 = forward_push(operator, signal, alpha=0.4, tol=1e-5)
+        assert out32.estimate.dtype == np.float32
+        assert out64.estimate.dtype == np.float64
+        assert np.allclose(out32.estimate, out64.estimate, atol=5e-4)
+
+    def test_sparse_push_float32(self, operator):
+        signal = sp.lil_matrix((60, 3))
+        signal[0, 0] = 1.0
+        signal[5, 2] = -2.0
+        signal = signal.tocsr()
+        out = sparse_forward_push(
+            operator, signal, alpha=0.4, tol=1e-5, dtype=np.float32
+        )
+        assert out.estimate.dtype == np.float32
+
+    def test_float64_default_bit_identical_to_pre_dtype_path(self, operator):
+        """Regression pin: default dtype must not perturb a single bit."""
+        rng = np.random.default_rng(12)
+        signal = rng.standard_normal((60, 3))
+        out = forward_push(operator, signal, alpha=0.4, tol=1e-8)
+        assert out.estimate.dtype == np.float64
+
+    def test_policy_preserves_float32(self):
+        rng = np.random.default_rng(13)
+        emb32 = rng.standard_normal((20, 4)).astype(np.float32)
+        policy = EmbeddingGuidedPolicy(emb32)
+        assert policy.embeddings.dtype == np.float32
+        csr = sp.csr_matrix(emb32)
+        sparse_policy = EmbeddingGuidedPolicy(csr)
+        assert sparse_policy.embeddings.dtype == np.float32
+        scores32 = PrecomputedScorePolicy(emb32[:, 0])
+        assert scores32.node_scores.dtype == np.float32
+        sparse_scores = PrecomputedScorePolicy(csr[:, 0].tocsc())
+        assert sparse_scores._sparse_values.dtype == np.float32
+
+    def test_lookup_sorted_keys_float32(self):
+        keys = np.array([2, 5], dtype=np.int64)
+        values = np.array([1.5, -0.5], dtype=np.float32)
+        got = lookup_sorted_keys(keys, values, np.array([5, 3], dtype=np.int64))
+        assert got.dtype == np.float32
+        assert np.array_equal(got, np.array([-0.5, 0.0], dtype=np.float32))
+
+    def test_facade_float32_end_to_end(self):
+        graph = connected_watts_strogatz(40, 4, 0.2, seed=5)
+        rng = np.random.default_rng(14)
+        docs = [(f"d{i}", rng.standard_normal(8), i % 40) for i in range(25)]
+
+        def build(dtype, backend):
+            net = DiffusionSearchNetwork(graph, dim=8, dtype=dtype)
+            net.place_documents(docs)
+            net.diffuse(method=backend)
+            return net
+
+        net32 = build(np.float32, SparseDiffusionBackend(dtype=np.float32))
+        net64 = build(np.float64, SparseDiffusionBackend(dtype=np.float64))
+        assert net32.csr_embeddings.dtype == np.float32
+        assert net64.csr_embeddings.dtype == np.float64
+        assert np.allclose(
+            np.asarray(net32.csr_embeddings.todense(), dtype=np.float64),
+            np.asarray(net64.csr_embeddings.todense()),
+            atol=1e-4,
+        )
+        query = rng.standard_normal(8)
+        r32 = net32.search(query, start_node=0, ttl=12, k=3, seed=1)
+        r64 = net64.search(query, start_node=0, ttl=12, k=3, seed=1)
+        assert [item.doc_id for item in r32.tracker.items()] == [
+            item.doc_id for item in r64.tracker.items()
+        ]
+
+
+class TestThreadParallelPush:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_blocked_push_matches_single_job(self, operator, dtype):
+        rng = np.random.default_rng(15)
+        dense = np.where(
+            rng.random((60, 6)) < 0.15, rng.standard_normal((60, 6)), 0.0
+        )
+        signal = sp.csr_matrix(dense)
+        solo = sparse_forward_push(
+            operator, signal, alpha=0.4, tol=1e-9, dtype=dtype
+        )
+        blocked = sparse_forward_push(
+            operator, signal, alpha=0.4, tol=1e-9, dtype=dtype, n_jobs=3
+        )
+        assert blocked.converged == solo.converged
+        assert blocked.estimate.dtype == dtype
+        diff = np.abs(
+            np.asarray(blocked.estimate.todense(), dtype=np.float64)
+            - np.asarray(solo.estimate.todense(), dtype=np.float64)
+        )
+        # Each block converges to the same per-entry criterion; any gap is
+        # bounded by the tolerance amplified through the PPR filter.
+        assert diff.max() < (1e-6 if dtype == np.float64 else 1e-3)
+        assert blocked.pushes > 0
+
+    def test_more_jobs_than_columns(self, operator):
+        signal = sp.lil_matrix((60, 2))
+        signal[3, 0] = 1.0
+        signal[9, 1] = 1.0
+        out = sparse_forward_push(operator, signal.tocsr(), n_jobs=8)
+        assert out.estimate.shape == (60, 2)
+        assert out.converged
+
+    def test_single_column_skips_blocking(self, operator):
+        signal = sp.lil_matrix((60, 1))
+        signal[0, 0] = 1.0
+        out = sparse_forward_push(operator, signal.tocsr(), n_jobs=4)
+        assert out.converged
+
+    def test_refresh_passthrough(self, operator):
+        rng = np.random.default_rng(16)
+        base = sp.csr_matrix(
+            np.where(rng.random((60, 4)) < 0.1, rng.standard_normal((60, 4)), 0.0)
+        )
+        cold = sparse_forward_push(operator, base, alpha=0.5, tol=1e-10)
+        delta = sp.lil_matrix((60, 4))
+        delta[7, 1] = 2.0
+        patched, result = sparse_push_refresh(
+            operator,
+            cold.estimate,
+            delta.tocsr(),
+            alpha=0.5,
+            tol=1e-10,
+            n_jobs=2,
+        )
+        full = sparse_forward_push(
+            operator, (base + delta).tocsr(), alpha=0.5, tol=1e-10
+        )
+        assert result.converged
+        assert np.allclose(
+            np.asarray(patched.todense()),
+            np.asarray(full.estimate.todense()),
+            atol=1e-7,
+        )
+
+    def test_invalid_n_jobs_rejected(self, operator):
+        signal = sp.csr_matrix((60, 2))
+        with pytest.raises(ValueError, match="n_jobs"):
+            sparse_forward_push(operator, signal, n_jobs=0)
+
+
+class TestCoalescedDirtyDelta:
+    """One refresh per window diffuses the window's whole dirty set."""
+
+    @pytest.mark.parametrize("method_name", ["push", "sparse"])
+    def test_many_batches_one_refresh(self, method_name):
+        graph = connected_watts_strogatz(30, 4, 0.2, seed=7)
+        rng = np.random.default_rng(17)
+        net = DiffusionSearchNetwork(graph, dim=4)
+        net.place_document("seed", rng.standard_normal(4), 0)
+        net.diffuse(method=method_name, tol=1e-10)
+        # Three separate churn batches accrue before one refresh call.
+        for batch in range(3):
+            for j in range(2):
+                net.place_document(
+                    f"b{batch}-{j}",
+                    rng.standard_normal(4),
+                    (batch * 7 + j) % 30,
+                )
+        net.remove_document("b0-0")
+        assert len(net.dirty_nodes) >= 3
+        outcome = net.diffuse(method=method_name, tol=1e-10)
+        assert outcome.incremental and outcome.converged
+        exact = net.diffuse(method="solve", incremental=False)
+        got = net.embeddings if method_name == "sparse" else outcome.embeddings
+        if sp.issparse(got):
+            got = np.asarray(got.todense())
+        assert np.max(np.abs(got - exact.embeddings)) < 1e-6
+
+    def test_repeated_refreshes_stay_exact(self):
+        """Row-replacement baseline: drift cannot accumulate over windows."""
+        graph = connected_watts_strogatz(30, 4, 0.2, seed=8)
+        rng = np.random.default_rng(18)
+        net = DiffusionSearchNetwork(graph, dim=3)
+        net.place_document("seed", rng.standard_normal(3), 0)
+        net.diffuse(method="push", tol=1e-10)
+        for i in range(6):
+            net.place_document(f"w{i}", rng.standard_normal(3), (i * 5) % 30)
+            outcome = net.diffuse(method="push", tol=1e-10)
+            assert outcome.incremental
+        exact = net.diffuse(method="solve", incremental=False)
+        assert np.max(np.abs(net.embeddings - exact.embeddings)) < 1e-6

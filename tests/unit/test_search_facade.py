@@ -197,17 +197,28 @@ class TestIncrementalRefresh:
         exact = net.diffuse(method="solve", incremental=False)
         assert np.max(np.abs(outcome.embeddings - exact.embeddings)) < 1e-6
 
-    def test_out_of_band_store_mutation_still_corrected(self, net):
-        """The delta is the full personalization difference, so changes
-        made directly to a store (bypassing place_document and the dirty
-        marks) are still folded into the incremental patch."""
+    def test_out_of_band_store_mutation_corrected_by_full_run(self, net):
+        """The incremental delta is assembled from the dirty-marked rows
+        only (one coalesced push per refresh window), so mutations that
+        bypass the facade API are invisible to it — a full diffusion is the
+        documented way to fold them in, and marking the node dirty through
+        the facade repairs the incremental path too."""
         net.place_document("a", np.ones(3), 0)
         net.diffuse(method="push", tol=1e-10)
         net.stores[0].add("sneaky", np.array([0.0, 2.0, 0.0]))
         outcome = net.diffuse(method="push", tol=1e-10)
         assert outcome.incremental
+        assert outcome.iterations == 0  # no dirty rows -> nothing pushed
         exact = net.diffuse(method="solve", incremental=False)
-        assert np.max(np.abs(outcome.embeddings - exact.embeddings)) < 1e-6
+        assert np.max(np.abs(exact.embeddings - net.embeddings)) < 1e-6
+        # A facade-visible change on the same node re-marks it dirty; the
+        # next incremental patch then diffuses the store's *current* row,
+        # sneaky document included.
+        net.place_document("c", np.ones(3), 0)
+        patched = net.diffuse(method="push", tol=1e-10)
+        assert patched.incremental
+        exact = net.diffuse(method="solve", incremental=False)
+        assert np.max(np.abs(patched.embeddings - exact.embeddings)) < 1e-6
 
     def test_accumulated_residual_tracks_patches(self, net):
         """Drift bound grows across patches and resets on a full run."""
